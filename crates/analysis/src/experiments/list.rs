@@ -1,0 +1,201 @@
+//! List-characterisation experiments: Figures 3 and 4.
+
+use crate::experiments::Experiment;
+use crate::report::{Report, Series, TextTable};
+use crate::scenario::Scenario;
+use rws_domain::{PublicSuffixList, SldComparison};
+use rws_html::similarity::{html_similarity, SimilarityWeights};
+use rws_model::MemberRole;
+use rws_stats::Ecdf;
+
+/// Figure 3: CDFs of the Levenshtein edit distance between service /
+/// associated site SLDs and their set primary's SLD.
+pub struct Figure3;
+
+impl Figure3 {
+    /// The per-role edit-distance samples underlying the figure.
+    pub fn distances(scenario: &Scenario) -> (Vec<f64>, Vec<f64>) {
+        let psl = PublicSuffixList::embedded();
+        let mut service = Vec::new();
+        let mut associated = Vec::new();
+        for (primary, member, role) in scenario.corpus.list.member_primary_pairs() {
+            let Some(comparison) = SldComparison::compute(&member, &primary, &psl) else {
+                continue;
+            };
+            match role {
+                MemberRole::Service => service.push(comparison.edit_distance as f64),
+                MemberRole::Associated => associated.push(comparison.edit_distance as f64),
+                _ => {}
+            }
+        }
+        (service, associated)
+    }
+}
+
+impl Experiment for Figure3 {
+    fn id(&self) -> &'static str {
+        "figure3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Levenshtein edit distance between member SLDs and their primary's SLD"
+    }
+
+    fn paper_reference(&self) -> &'static str {
+        "14 service sites, 108 associated sites; 9.3% of associated SLDs identical to the \
+         primary's; median associated edit distance 7"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Report {
+        let (service, associated) = Figure3::distances(scenario);
+        let mut report = Report::new(self.id(), self.title());
+        let service_ecdf = Ecdf::new(&service);
+        let associated_ecdf = Ecdf::new(&associated);
+        report.add_series(Series::new(
+            format!("Service sites ({})", service.len()),
+            service_ecdf.steps(),
+        ));
+        report.add_series(Series::new(
+            format!("Associated sites ({})", associated.len()),
+            associated_ecdf.steps(),
+        ));
+        let identical = associated.iter().filter(|&&d| d == 0.0).count();
+        if !associated.is_empty() {
+            report.add_note(format!(
+                "identical associated SLDs: {} of {} ({:.1}%, paper: 9.3%)",
+                identical,
+                associated.len(),
+                100.0 * identical as f64 / associated.len() as f64
+            ));
+        }
+        if let Some(median) = associated_ecdf.median() {
+            report.add_note(format!(
+                "median associated edit distance: {median:.1} (paper: 7)"
+            ));
+        }
+        report.add_note(format!("paper reference: {}", self.paper_reference()));
+        report
+    }
+}
+
+/// Figure 4: CDFs of HTML style / structural / joint similarity between
+/// member sites and their set primaries.
+pub struct Figure4;
+
+impl Figure4 {
+    /// The three similarity samples (style, structural, joint) over every
+    /// service/associated member paired with its primary.
+    pub fn similarities(scenario: &Scenario) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let weights = SimilarityWeights::default();
+        let mut style = Vec::new();
+        let mut structural = Vec::new();
+        let mut joint = Vec::new();
+        for (primary, member, role) in scenario.corpus.list.member_primary_pairs() {
+            if !matches!(role, MemberRole::Service | MemberRole::Associated) {
+                continue;
+            }
+            let (Some(primary_html), Some(member_html)) = (
+                scenario.corpus.html_of(&primary),
+                scenario.corpus.html_of(&member),
+            ) else {
+                continue;
+            };
+            let similarity = html_similarity(&primary_html, &member_html, weights);
+            style.push(similarity.style);
+            structural.push(similarity.structural);
+            joint.push(similarity.joint);
+        }
+        (style, structural, joint)
+    }
+}
+
+impl Experiment for Figure4 {
+    fn id(&self) -> &'static str {
+        "figure4"
+    }
+
+    fn title(&self) -> &'static str {
+        "HTML similarity between set primaries and their service/associated sites"
+    }
+
+    fn paper_reference(&self) -> &'static str {
+        "most members dissimilar to their primaries; median joint similarity 0.04"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Report {
+        let (style, structural, joint) = Figure4::similarities(scenario);
+        let mut report = Report::new(self.id(), self.title());
+        for (name, sample) in [
+            ("Style similarity", &style),
+            ("Structural similarity", &structural),
+            ("Joint similarity", &joint),
+        ] {
+            let ecdf = Ecdf::new(sample);
+            report.add_series(Series::new(name, ecdf.grid(0.0, 1.0, 101)));
+        }
+        let mut medians = TextTable::new(vec!["Metric", "Median", "Mean"]);
+        for (name, sample) in [
+            ("style", &style),
+            ("structural", &structural),
+            ("joint", &joint),
+        ] {
+            medians.add_row(vec![
+                name.to_string(),
+                format!("{:.3}", rws_stats::median(sample).unwrap_or(0.0)),
+                format!("{:.3}", rws_stats::mean(sample).unwrap_or(0.0)),
+            ]);
+        }
+        report.add_table("summary", medians);
+        report.add_note(format!(
+            "pairs compared: {} (paper compares 122 member/primary pairs)",
+            joint.len()
+        ));
+        report.add_note(format!(
+            "median joint similarity: {:.3} (paper: 0.04)",
+            rws_stats::median(&joint).unwrap_or(0.0)
+        ));
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        Scenario::generate(ScenarioConfig::small(47))
+    }
+
+    #[test]
+    fn figure3_produces_cdfs_and_sane_distances() {
+        let s = scenario();
+        let (service, associated) = Figure3::distances(&s);
+        assert!(!associated.is_empty(), "corpus must contain associated sites");
+        for &d in service.iter().chain(associated.iter()) {
+            assert!(d >= 0.0 && d < 40.0, "implausible edit distance {d}");
+        }
+        let report = Figure3.run(&s);
+        assert_eq!(report.series.len(), 2);
+        assert!(report.to_text().contains("Associated sites"));
+    }
+
+    #[test]
+    fn figure4_similarities_bounded_and_mostly_low() {
+        let s = scenario();
+        let (style, structural, joint) = Figure4::similarities(&s);
+        assert_eq!(style.len(), joint.len());
+        assert_eq!(structural.len(), joint.len());
+        assert!(!joint.is_empty());
+        for &v in style.iter().chain(structural.iter()).chain(joint.iter()) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // The paper's qualitative finding: the median joint similarity is
+        // low (members mostly do not look like their primaries).
+        let median_joint = rws_stats::median(&joint).unwrap();
+        assert!(median_joint < 0.5, "median joint similarity {median_joint} too high");
+        let report = Figure4.run(&s);
+        assert_eq!(report.series.len(), 3);
+        assert!(report.table("summary").unwrap().row_count() == 3);
+    }
+}

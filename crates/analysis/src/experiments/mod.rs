@@ -1,0 +1,66 @@
+//! One experiment per table and figure of the paper.
+
+pub mod governance;
+pub mod list;
+pub mod survey;
+
+use crate::report::Report;
+use crate::scenario::Scenario;
+
+/// A reproducible experiment: one table or figure of the paper.
+pub trait Experiment {
+    /// Stable identifier (`table1`, `figure4`, …).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title matching the paper's caption.
+    fn title(&self) -> &'static str;
+
+    /// What the paper reports for this artefact — the values the
+    /// reproduction should be compared against.
+    fn paper_reference(&self) -> &'static str;
+
+    /// Run the experiment against a generated scenario.
+    fn run(&self, scenario: &Scenario) -> Report;
+}
+
+pub use governance::{Figure5, Figure6, Figure7, Figure8, Figure9, Table3};
+pub use list::{Figure3, Figure4};
+pub use survey::{Figure1, Figure2, Table1, Table2};
+
+/// Every experiment, in the order the paper presents them.
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Table1),
+        Box::new(Table2),
+        Box::new(Table3),
+        Box::new(Figure1),
+        Box::new(Figure2),
+        Box::new(Figure3),
+        Box::new(Figure4),
+        Box::new(Figure5),
+        Box::new(Figure6),
+        Box::new(Figure7),
+        Box::new(Figure8),
+        Box::new(Figure9),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_are_unique_and_cover_the_paper() {
+        let experiments = all_experiments();
+        assert_eq!(experiments.len(), 12);
+        let mut ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate experiment ids");
+        for e in &experiments {
+            assert!(!e.title().is_empty());
+            assert!(!e.paper_reference().is_empty());
+        }
+    }
+}

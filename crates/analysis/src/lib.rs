@@ -1,0 +1,46 @@
+//! The paper's analysis pipeline.
+//!
+//! This crate is the primary public API of the reproduction. It wires the
+//! substrates together — corpus generation, classification, the governance
+//! history, the browser policy layer and the survey — into a single
+//! [`Scenario`], and implements one [`Experiment`] per table and figure of
+//! the paper:
+//!
+//! | id | artefact |
+//! |---|---|
+//! | `table1` | Website relatedness survey results summary |
+//! | `table2` | Factors used to determine relatedness |
+//! | `table3` | RWS GitHub bot validation messages |
+//! | `figure1` | Relatedness confusion matrix |
+//! | `figure2` | Survey timing CDFs + KS test |
+//! | `figure3` | SLD Levenshtein distance CDFs |
+//! | `figure4` | HTML similarity CDFs |
+//! | `figure5` | Cumulative PRs by outcome |
+//! | `figure6` | Days to process PRs |
+//! | `figure7` | Set composition over time |
+//! | `figure8` | Categories of set primaries over time |
+//! | `figure9` | Categories of associated sites over time |
+//!
+//! Each experiment renders a [`Report`] containing aligned text tables and
+//! the numeric series a plotting tool would consume, and
+//! [`PaperReproduction`] runs all of them.
+//!
+//! ```
+//! use rws_analysis::{PaperReproduction, ScenarioConfig};
+//!
+//! let mut config = ScenarioConfig::default();
+//! config.corpus.organisations = 10;   // small corpus for the doctest
+//! config.corpus.top_sites = 100;
+//! let repro = PaperReproduction::new(config);
+//! let report = repro.run("figure1").expect("figure1 is a known experiment");
+//! assert!(report.to_text().contains("Expected"));
+//! ```
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod scenario;
+
+pub use paper::{Experiment, PaperReproduction};
+pub use report::{Report, Series, TextTable};
+pub use scenario::{Scenario, ScenarioConfig};

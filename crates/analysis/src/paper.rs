@@ -1,0 +1,116 @@
+//! The end-to-end paper reproduction: run every experiment over one shared
+//! scenario.
+
+pub use crate::experiments::Experiment;
+use crate::experiments::all_experiments;
+use crate::report::Report;
+use crate::scenario::{Scenario, ScenarioConfig};
+
+/// Runs the full set of experiments over a lazily-generated scenario.
+pub struct PaperReproduction {
+    config: ScenarioConfig,
+    scenario: std::cell::OnceCell<Scenario>,
+}
+
+impl PaperReproduction {
+    /// Create a reproduction for a configuration. The scenario is generated
+    /// on first use and shared across experiments.
+    pub fn new(config: ScenarioConfig) -> PaperReproduction {
+        PaperReproduction {
+            config,
+            scenario: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Create a reproduction with the paper-scale default configuration.
+    pub fn with_defaults() -> PaperReproduction {
+        PaperReproduction::new(ScenarioConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The generated scenario (generating it on first access).
+    pub fn scenario(&self) -> &Scenario {
+        self.scenario.get_or_init(|| Scenario::generate(self.config))
+    }
+
+    /// The experiment ids available, in paper order.
+    pub fn experiment_ids(&self) -> Vec<&'static str> {
+        all_experiments().iter().map(|e| e.id()).collect()
+    }
+
+    /// Run one experiment by id. Returns `None` for unknown ids.
+    pub fn run(&self, id: &str) -> Option<Report> {
+        let experiment = all_experiments().into_iter().find(|e| e.id() == id)?;
+        Some(experiment.run(self.scenario()))
+    }
+
+    /// Run every experiment, in paper order.
+    pub fn run_all(&self) -> Vec<Report> {
+        let scenario = self.scenario();
+        all_experiments().iter().map(|e| e.run(scenario)).collect()
+    }
+
+    /// Render every report as one text document — what the examples print
+    /// and EXPERIMENTS.md is derived from.
+    pub fn render_all(&self) -> String {
+        self.run_all()
+            .iter()
+            .map(Report::to_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reproduction() -> PaperReproduction {
+        PaperReproduction::new(ScenarioConfig::small(61))
+    }
+
+    #[test]
+    fn run_all_produces_twelve_reports() {
+        let repro = reproduction();
+        let reports = repro.run_all();
+        assert_eq!(reports.len(), 12);
+        let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4",
+                "figure5", "figure6", "figure7", "figure8", "figure9"
+            ]
+        );
+    }
+
+    #[test]
+    fn run_by_id_and_unknown_id() {
+        let repro = reproduction();
+        assert!(repro.run("figure3").is_some());
+        assert!(repro.run("figure99").is_none());
+        assert_eq!(repro.experiment_ids().len(), 12);
+    }
+
+    #[test]
+    fn scenario_is_generated_once_and_shared() {
+        let repro = reproduction();
+        let first = repro.scenario() as *const _;
+        let _ = repro.run("table1");
+        let second = repro.scenario() as *const _;
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn render_all_contains_every_section() {
+        let repro = reproduction();
+        let text = repro.render_all();
+        for id in repro.experiment_ids() {
+            assert!(text.contains(&format!("=== {id} ")), "missing section {id}");
+        }
+    }
+}

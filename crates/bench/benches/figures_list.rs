@@ -1,0 +1,34 @@
+//! Benches regenerating the list-characterisation figures.
+//!
+//! * `figure3_levenshtein` — Figure 3 (SLD edit-distance CDFs)
+//! * `figure4_html_similarity` — Figure 4 (style/structural/joint CDFs)
+//! * `figure8_primary_categories` / `figure9_associated_categories` —
+//!   Figures 8 and 9 (category composition over time)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rws_analysis::experiments::{Experiment, Figure3, Figure4, Figure8, Figure9};
+use rws_bench::bench_scenario;
+
+fn bench_list_figures(c: &mut Criterion) {
+    let scenario = bench_scenario();
+
+    let mut group = c.benchmark_group("figures_list");
+    group.sample_size(15);
+
+    group.bench_function("figure3_levenshtein", |b| {
+        b.iter(|| std::hint::black_box(Figure3.run(scenario)))
+    });
+    group.bench_function("figure4_html_similarity", |b| {
+        b.iter(|| std::hint::black_box(Figure4.run(scenario)))
+    });
+    group.bench_function("figure8_primary_categories", |b| {
+        b.iter(|| std::hint::black_box(Figure8.run(scenario)))
+    });
+    group.bench_function("figure9_associated_categories", |b| {
+        b.iter(|| std::hint::black_box(Figure9.run(scenario)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_figures);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Micro-benchmarks for the hot primitives underneath the experiments:
+//! eTLD+1 computation, Levenshtein distance, HTML similarity, RWS list
+//! lookup, KS tests and corpus generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rws_bench::{bench_scenario, small_config};
+use rws_analysis::Scenario;
+use rws_domain::{levenshtein, DomainName, PublicSuffixList};
+use rws_html::similarity::{html_similarity, SimilarityWeights};
+use rws_stats::prelude::*;
+
+fn bench_domain_primitives(c: &mut Criterion) {
+    let psl = PublicSuffixList::embedded();
+    let hosts: Vec<DomainName> = [
+        "example.com",
+        "www.example.co.uk",
+        "deep.sub.domain.example.com.br",
+        "myproject.github.io",
+        "a.b.kawasaki.jp",
+    ]
+    .iter()
+    .map(|s| DomainName::parse(s).unwrap())
+    .collect();
+
+    let mut group = c.benchmark_group("micro_domain");
+    group.bench_function("registrable_domain", |b| {
+        b.iter(|| {
+            for host in &hosts {
+                std::hint::black_box(psl.registrable_domain(host).ok());
+            }
+        })
+    });
+    group.bench_function("levenshtein_sld", |b| {
+        b.iter(|| std::hint::black_box(levenshtein("nourishingpursuits", "cafemedia")))
+    });
+    group.finish();
+}
+
+fn bench_html_similarity(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let pairs = scenario.corpus.list.member_primary_pairs();
+    let (primary, member, _) = pairs
+        .iter()
+        .find(|(p, m, _)| {
+            scenario.corpus.html_of(p).is_some() && scenario.corpus.html_of(m).is_some()
+        })
+        .expect("some live pair exists");
+    let html_a = scenario.corpus.html_of(primary).unwrap();
+    let html_b = scenario.corpus.html_of(member).unwrap();
+
+    c.bench_function("micro_html_similarity", |b| {
+        b.iter(|| std::hint::black_box(html_similarity(&html_a, &html_b, SimilarityWeights::default())))
+    });
+}
+
+fn bench_list_lookup(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let list = &scenario.corpus.list;
+    let domains = list.all_domains();
+    c.bench_function("micro_rws_are_related", |b| {
+        b.iter(|| {
+            let mut related = 0usize;
+            for pair in domains.windows(2) {
+                if list.are_related(&pair[0], &pair[1]) {
+                    related += 1;
+                }
+            }
+            std::hint::black_box(related)
+        })
+    });
+}
+
+fn bench_ks_test(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::new(7);
+    let a: Vec<f64> = (0..500).map(|_| rng.gaussian(30.0, 8.0)).collect();
+    let b: Vec<f64> = (0..500).map(|_| rng.gaussian(36.0, 9.0)).collect();
+    c.bench_function("micro_ks_two_sample", |bencher| {
+        bencher.iter(|| std::hint::black_box(ks_two_sample(&a, &b)))
+    });
+}
+
+fn bench_scenario_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_scenario_generation");
+    group.sample_size(10);
+    for organisations in [5usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(organisations),
+            &organisations,
+            |b, &organisations| {
+                b.iter(|| {
+                    let mut config = small_config(99);
+                    config.corpus.organisations = organisations;
+                    std::hint::black_box(Scenario::generate(config))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_domain_primitives,
+    bench_html_similarity,
+    bench_list_lookup,
+    bench_ks_test,
+    bench_scenario_generation
+);
+criterion_main!(benches);

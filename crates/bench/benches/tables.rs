@@ -1,0 +1,40 @@
+//! Benches regenerating the paper's tables.
+//!
+//! * `table1_survey` — Table 1 (survey results summary)
+//! * `table2_factors` — Table 2 (factors used)
+//! * `table3_bot_messages` — Table 3 (validation bot messages)
+//!
+//! Each iteration re-runs the analysis over the shared scenario and prints
+//! (once) the regenerated table so the run doubles as an artefact dump.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rws_analysis::experiments::{Experiment, Table1, Table2, Table3};
+use rws_bench::bench_scenario;
+use std::sync::Once;
+
+fn print_once(report: &rws_analysis::Report) {
+    static PRINTED: Once = Once::new();
+    PRINTED.call_once(|| println!("\n{}", report.to_text()));
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let scenario = bench_scenario();
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(20);
+
+    group.bench_function("table1_survey", |b| {
+        print_once(&Table1.run(scenario));
+        b.iter(|| std::hint::black_box(Table1.run(scenario)))
+    });
+    group.bench_function("table2_factors", |b| {
+        b.iter(|| std::hint::black_box(Table2.run(scenario)))
+    });
+    group.bench_function("table3_bot_messages", |b| {
+        b.iter(|| std::hint::black_box(Table3.run(scenario)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

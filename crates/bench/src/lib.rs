@@ -1,0 +1,43 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every Criterion bench target regenerates one (or more) of the paper's
+//! tables/figures. Scenario generation is the expensive part, so the
+//! fixtures here build it once per process and hand out references.
+
+use rws_analysis::{Scenario, ScenarioConfig};
+use std::sync::OnceLock;
+
+/// The bench-scale scenario: paper-scale RWS list (41 sets) with a reduced
+/// top-site pool so each benchmark iteration stays in the tens of
+/// milliseconds.
+pub fn bench_scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| Scenario::generate(bench_config()))
+}
+
+/// The configuration used by [`bench_scenario`].
+pub fn bench_config() -> ScenarioConfig {
+    let mut config = ScenarioConfig::default();
+    config.corpus.top_sites = 300;
+    config.top_site_sample = 100;
+    config
+}
+
+/// A deliberately small configuration for benchmarking scenario generation
+/// itself.
+pub fn small_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::small(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_builds_and_is_paper_scale() {
+        let scenario = bench_scenario();
+        assert_eq!(scenario.corpus.list.set_count(), 41);
+        assert!(!scenario.survey.responses.is_empty());
+        assert!(scenario.history.len() > 41);
+    }
+}

@@ -1,0 +1,205 @@
+//! Keyword-based content classification.
+
+use rws_corpus::SiteCategory;
+use rws_domain::DomainName;
+use rws_html::{class_set, text_content, title};
+
+/// Vocabulary associated with each category. Matching is case-insensitive
+/// and counts every occurrence across the page's title, visible text and
+/// CSS class names.
+const CATEGORY_KEYWORDS: &[(SiteCategory, &[&str])] = &[
+    (
+        SiteCategory::NewsAndMedia,
+        &["news", "breaking", "headlines", "politics", "editorial", "report", "press", "journal", "daily", "wire"],
+    ),
+    (
+        SiteCategory::InformationTechnology,
+        &["software", "developer", "api", "platform", "release notes", "docs", "code", "tech", "cloud"],
+    ),
+    (
+        SiteCategory::BusinessAndEconomy,
+        &["business", "finance", "investors", "markets", "services", "corporate", "economy"],
+    ),
+    (
+        SiteCategory::SearchEnginesAndPortals,
+        &["search", "portal", "directory", "results", "explore", "query"],
+    ),
+    (
+        SiteCategory::SocialNetworking,
+        &["friends", "share", "community", "follow", "feed", "social"],
+    ),
+    (
+        SiteCategory::AnalyticsInfrastructure,
+        &["analytics", "tracking", "measurement", "pixel", "tag", "cdn", "static", "endpoint"],
+    ),
+    (
+        SiteCategory::Shopping,
+        &["shop", "cart", "checkout", "products", "free shipping", "store", "buy"],
+    ),
+    (
+        SiteCategory::Entertainment,
+        &["entertainment", "stream", "movies", "music", "celebrity", "tickets"],
+    ),
+    (
+        SiteCategory::Travel,
+        &["travel", "hotel", "flight", "booking", "tourism"],
+    ),
+    (
+        SiteCategory::Games,
+        &["games", "gaming", "play", "esports"],
+    ),
+    (
+        SiteCategory::AdultContent,
+        &["adult", "explicit", "mature"],
+    ),
+];
+
+/// A deterministic keyword classifier over page content.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordClassifier {
+    /// Minimum total keyword hits required before committing to a category;
+    /// pages below the threshold classify as [`SiteCategory::Unknown`].
+    pub min_hits: usize,
+}
+
+impl KeywordClassifier {
+    /// Create a classifier with the default threshold (2 hits).
+    pub fn new() -> KeywordClassifier {
+        KeywordClassifier { min_hits: 2 }
+    }
+
+    /// Classify a site from its domain and front-page HTML.
+    ///
+    /// The domain is included because the real ThreatSeeker database keys on
+    /// URLs: domain tokens such as `shop` or `news` count as evidence too.
+    pub fn classify(&self, domain: &DomainName, html: &str) -> SiteCategory {
+        let mut haystack = String::new();
+        haystack.push_str(&text_content(html).to_ascii_lowercase());
+        haystack.push(' ');
+        if let Some(t) = title(html) {
+            haystack.push_str(&t.to_ascii_lowercase());
+            haystack.push(' ');
+        }
+        for class in class_set(html) {
+            haystack.push_str(&class.to_ascii_lowercase());
+            haystack.push(' ');
+        }
+        haystack.push_str(domain.as_str());
+
+        // Tokenise once so single-word keywords match on word boundaries
+        // ("news" must not match the "newsletter" sign-up form every site
+        // carries); multi-word keywords fall back to substring search.
+        let words: Vec<&str> = haystack
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .collect();
+
+        let mut best: Option<(SiteCategory, usize)> = None;
+        for (category, keywords) in CATEGORY_KEYWORDS {
+            let hits: usize = keywords
+                .iter()
+                .map(|kw| count_occurrences(&haystack, &words, kw))
+                .sum();
+            match best {
+                Some((_, best_hits)) if best_hits >= hits => {}
+                _ => best = Some((*category, hits)),
+            }
+        }
+        match best {
+            Some((category, hits)) if hits >= self.min_hits => category,
+            _ => SiteCategory::Unknown,
+        }
+    }
+}
+
+fn count_occurrences(haystack: &str, words: &[&str], needle: &str) -> usize {
+    if needle.is_empty() {
+        return 0;
+    }
+    if needle.contains(' ') {
+        haystack.matches(needle).count()
+    } else {
+        words.iter().filter(|w| **w == needle).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rws_corpus::{Brand, CorpusConfig, CorpusGenerator, Language, SiteRole};
+    use rws_stats::rng::Xoshiro256StarStar;
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn classifies_obvious_pages() {
+        let c = KeywordClassifier::new();
+        let news = r#"<html><head><title>Daily breaking news</title></head>
+            <body><p>Breaking news and politics headlines. Editorial report.</p></body></html>"#;
+        assert_eq!(c.classify(&dn("somepaper.com"), news), SiteCategory::NewsAndMedia);
+
+        let shop = r#"<html><head><title>Mega store</title></head>
+            <body><div class="cart">Shop our products, add to cart, checkout with free shipping.</div></body></html>"#;
+        assert_eq!(c.classify(&dn("megastore.com"), shop), SiteCategory::Shopping);
+
+        let analytics = r#"<html><body><code>tracking pixel tag analytics measurement endpoint</code></body></html>"#;
+        assert_eq!(
+            c.classify(&dn("trackercdn.net"), analytics),
+            SiteCategory::AnalyticsInfrastructure
+        );
+    }
+
+    #[test]
+    fn sparse_pages_are_unknown() {
+        let c = KeywordClassifier::new();
+        assert_eq!(c.classify(&dn("mystery.com"), "<html><body>hello</body></html>"), SiteCategory::Unknown);
+        assert_eq!(c.classify(&dn("empty.com"), ""), SiteCategory::Unknown);
+    }
+
+    #[test]
+    fn classifier_recovers_template_categories() {
+        // Render pages straight from the corpus templates and check the
+        // classifier agrees with ground truth most of the time.
+        let mut rng = Xoshiro256StarStar::new(21);
+        let classifier = KeywordClassifier::new();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for category in [
+            SiteCategory::NewsAndMedia,
+            SiteCategory::InformationTechnology,
+            SiteCategory::Shopping,
+            SiteCategory::AnalyticsInfrastructure,
+            SiteCategory::SearchEnginesAndPortals,
+            SiteCategory::SocialNetworking,
+        ] {
+            for i in 0..10 {
+                let brand = Brand::generate(&mut rng);
+                let domain = dn(&format!("{}{}.com", brand.slug, i));
+                let html = rws_corpus::render_site(&domain, &brand, category, Language::English, &mut rng);
+                total += 1;
+                if classifier.classify(&domain, &html) == category {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.7,
+            "classifier accuracy too low: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn classifier_handles_generated_corpus_members() {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(5)).generate();
+        let classifier = KeywordClassifier::new();
+        let mut classified = 0usize;
+        for spec in corpus.sites.values().filter(|s| s.live && s.role != SiteRole::SetCctld).take(50) {
+            let html = corpus.html_of(&spec.domain).unwrap();
+            let _category = classifier.classify(&spec.domain, &html);
+            classified += 1;
+        }
+        assert!(classified > 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Brands and organisations.
+//!
+//! Related Website Sets are supposed to group sites that share a "clearly
+//! presented common affiliation". In the synthetic corpus that affiliation
+//! is modelled explicitly: an [`Organisation`] owns a family of sites, and
+//! each site presents a [`Brand`]. Whether an associated site *shares* the
+//! organisation's brand (same name stem, same CSS palette, same footer
+//! attribution) or presents a distinct brand is the lever that controls how
+//! detectable the relationship is — both to the HTML-similarity metrics of
+//! Figure 4 and to the simulated survey participants of Section 3.
+
+use rws_stats::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Name-stem fragments used to synthesise brand names.
+const NAME_STEMS: &[&str] = &[
+    "alpha", "north", "bright", "summit", "cedar", "harbor", "lumen", "vertex", "orbit", "pioneer",
+    "quartz", "sierra", "atlas", "beacon", "crest", "drift", "ember", "falcon", "garnet", "helix",
+    "indigo", "juniper", "krypton", "lattice", "meridian", "nimbus", "onyx", "prism", "quill",
+    "raven", "sable", "tundra", "umber", "vortex", "willow", "xenon", "yonder", "zephyr", "cobalt",
+    "delta", "echo", "fjord", "glade", "hollow", "iris", "jade", "karst", "lotus", "mesa", "nova",
+];
+
+/// Suffixes appended to stems for brand and domain variety.
+const NAME_SUFFIXES: &[&str] = &[
+    "media", "news", "daily", "post", "times", "tech", "soft", "labs", "works", "shop", "store",
+    "market", "travel", "games", "play", "data", "metrics", "cloud", "net", "hub", "zone", "point",
+    "group", "corp", "digital", "online", "press", "wire", "review", "journal",
+];
+
+/// Colour palette tokens used to derive CSS class prefixes.
+const PALETTES: &[&str] = &[
+    "crimson", "azure", "amber", "emerald", "violet", "slate", "coral", "teal", "gold", "rose",
+    "lime", "navy", "plum", "rust", "mint",
+];
+
+/// A brand as presented on a site: name, palette and CSS prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Brand {
+    /// Human-readable brand name, e.g. "Northpost Daily".
+    pub name: String,
+    /// A short lowercase token used as the CSS class prefix and in domain
+    /// names, e.g. "northpost".
+    pub slug: String,
+    /// Palette token controlling the shared look of the brand's sites.
+    pub palette: String,
+    /// The organisation name shown in footers and about pages.
+    pub organisation_name: String,
+}
+
+impl Brand {
+    /// A brand with the given display name and defaults derived from it
+    /// (useful in tests).
+    pub fn named(name: &str) -> Brand {
+        let slug: String = name
+            .to_ascii_lowercase()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        Brand {
+            organisation_name: format!("{name} Group"),
+            palette: "slate".to_string(),
+            name: name.to_string(),
+            slug,
+        }
+    }
+
+    /// Generate a fresh brand from the RNG.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Brand {
+        let stem = NAME_STEMS[rng.range_usize(0, NAME_STEMS.len())];
+        let suffix = NAME_SUFFIXES[rng.range_usize(0, NAME_SUFFIXES.len())];
+        let palette = PALETTES[rng.range_usize(0, PALETTES.len())].to_string();
+        let slug = format!("{stem}{suffix}");
+        let name = format!("{} {}", capitalise(stem), capitalise(suffix));
+        Brand {
+            organisation_name: format!("{name} Holdings"),
+            palette,
+            name,
+            slug,
+        }
+    }
+
+    /// Derive a sibling brand for another property of the same organisation.
+    ///
+    /// With `share_branding` the sibling keeps the organisation name, the
+    /// palette and a slug containing the parent's stem (the `autobild.de` ↔
+    /// `bild.de` pattern); without it the sibling looks like an unrelated
+    /// company (the `nourishingpursuits.com` ↔ `cafemedia.com` pattern).
+    pub fn sibling<R: Rng + ?Sized>(&self, rng: &mut R, share_branding: bool) -> Brand {
+        if share_branding {
+            let prefix = NAME_SUFFIXES[rng.range_usize(0, NAME_SUFFIXES.len())];
+            Brand {
+                name: format!("{} {}", capitalise(prefix), self.name.clone()),
+                slug: format!("{prefix}{}", self.slug),
+                palette: self.palette.clone(),
+                organisation_name: self.organisation_name.clone(),
+            }
+        } else {
+            // The presented brand is entirely distinct — including the
+            // organisation named in the footer — so nothing on the page
+            // reveals the affiliation. (True ownership is tracked on the
+            // corpus's `SiteSpec::organisation`, not on the brand.)
+            Brand::generate(rng)
+        }
+    }
+
+    /// The CSS class prefix used by this brand's templates.
+    pub fn css_prefix(&self) -> String {
+        format!("{}-{}", self.slug, self.palette)
+    }
+}
+
+fn capitalise(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// An organisation owning a family of branded sites.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Organisation {
+    /// Index of the organisation within the corpus.
+    pub id: usize,
+    /// The organisation's flagship brand (used by its set primary).
+    pub flagship: Brand,
+}
+
+impl Organisation {
+    /// Create an organisation with a generated flagship brand.
+    pub fn generate<R: Rng + ?Sized>(id: usize, rng: &mut R) -> Organisation {
+        Organisation {
+            id,
+            flagship: Brand::generate(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rws_stats::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn generated_brands_are_deterministic() {
+        let mut a = Xoshiro256StarStar::new(7);
+        let mut b = Xoshiro256StarStar::new(7);
+        assert_eq!(Brand::generate(&mut a), Brand::generate(&mut b));
+    }
+
+    #[test]
+    fn generated_brand_fields_nonempty_and_slug_lowercase() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..50 {
+            let brand = Brand::generate(&mut rng);
+            assert!(!brand.name.is_empty());
+            assert!(!brand.slug.is_empty());
+            assert!(brand.slug.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(brand.css_prefix().contains(&brand.palette));
+        }
+    }
+
+    #[test]
+    fn shared_branding_sibling_keeps_stem_and_palette() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let parent = Brand::generate(&mut rng);
+        let sibling = parent.sibling(&mut rng, true);
+        assert!(sibling.slug.contains(&parent.slug));
+        assert_eq!(sibling.palette, parent.palette);
+        assert_eq!(sibling.organisation_name, parent.organisation_name);
+        assert_ne!(sibling.slug, parent.slug);
+    }
+
+    #[test]
+    fn unshared_branding_sibling_presents_nothing_in_common() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let parent = Brand::generate(&mut rng);
+        let sibling = parent.sibling(&mut rng, false);
+        assert_ne!(sibling.slug, parent.slug);
+        assert_ne!(sibling.organisation_name, parent.organisation_name);
+    }
+
+    #[test]
+    fn named_brand_slug_is_sanitised() {
+        let brand = Brand::named("Café Media 24");
+        assert_eq!(brand.slug, "cafmedia24");
+        assert_eq!(brand.organisation_name, "Café Media 24 Group");
+    }
+
+    #[test]
+    fn organisation_generation() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let org = Organisation::generate(3, &mut rng);
+        assert_eq!(org.id, 3);
+        assert!(!org.flagship.name.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Site specifications: the metadata the generators attach to every domain.
+
+use crate::brand::Brand;
+use crate::category::SiteCategory;
+use rws_domain::DomainName;
+use serde::{Deserialize, Serialize};
+
+/// The primary language a site publishes in.
+///
+/// The paper filtered the RWS list down from 146 sites to 31 primarily
+/// English-language sites before building survey pairs, so language is part
+/// of every site's specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// Primarily English-language content.
+    English,
+    /// Primarily non-English content (the paper does not need finer
+    /// granularity than this).
+    NonEnglish,
+}
+
+/// The role a site plays in the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteRole {
+    /// An RWS set primary.
+    SetPrimary,
+    /// An RWS associated site.
+    SetAssociated,
+    /// An RWS service site.
+    SetService,
+    /// An RWS ccTLD variant.
+    SetCctld,
+    /// A top site outside any RWS set (drawn for survey groups 3 and 4).
+    TopSite,
+}
+
+/// Full specification of one synthetic site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// The site's registrable domain.
+    pub domain: DomainName,
+    /// The brand presented on the site.
+    pub brand: Brand,
+    /// Content category.
+    pub category: SiteCategory,
+    /// Primary language.
+    pub language: Language,
+    /// Role in the corpus.
+    pub role: SiteRole,
+    /// Whether the site is currently live (the paper manually filtered out
+    /// dead sites before the survey).
+    pub live: bool,
+    /// Index of the owning organisation in the corpus, if the site belongs
+    /// to one.
+    pub organisation: Option<usize>,
+}
+
+impl SiteSpec {
+    /// True if this site is a member of an RWS set (any role except
+    /// [`SiteRole::TopSite`]).
+    pub fn in_rws_set(&self) -> bool {
+        !matches!(self.role, SiteRole::TopSite)
+    }
+
+    /// True if the site passes the paper's survey filter: live and primarily
+    /// English-language.
+    pub fn survey_eligible(&self) -> bool {
+        self.live && self.language == Language::English
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brand::Brand;
+
+    fn spec(role: SiteRole, language: Language, live: bool) -> SiteSpec {
+        SiteSpec {
+            domain: DomainName::parse("example.com").unwrap(),
+            brand: Brand::named("Example"),
+            category: SiteCategory::NewsAndMedia,
+            language,
+            role,
+            live,
+            organisation: Some(0),
+        }
+    }
+
+    #[test]
+    fn rws_membership_by_role() {
+        assert!(spec(SiteRole::SetPrimary, Language::English, true).in_rws_set());
+        assert!(spec(SiteRole::SetService, Language::English, true).in_rws_set());
+        assert!(!spec(SiteRole::TopSite, Language::English, true).in_rws_set());
+    }
+
+    #[test]
+    fn survey_eligibility_requires_live_and_english() {
+        assert!(spec(SiteRole::SetPrimary, Language::English, true).survey_eligible());
+        assert!(!spec(SiteRole::SetPrimary, Language::NonEnglish, true).survey_eligible());
+        assert!(!spec(SiteRole::SetPrimary, Language::English, false).survey_eligible());
+    }
+}

@@ -1,0 +1,132 @@
+//! A Tranco-style top-sites ranking.
+//!
+//! The survey's comparison groups (3 and 4) pair RWS members with sites
+//! "drawn randomly from the Tranco Top 10K list, filtered to sites within
+//! the same / a different Forcepoint category". This module provides the
+//! ranked list those draws come from.
+
+use crate::category::SiteCategory;
+use rws_domain::DomainName;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the ranking.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrancoEntry {
+    /// 1-based rank (1 = most popular).
+    pub rank: usize,
+    /// The ranked domain.
+    pub domain: DomainName,
+    /// The domain's category.
+    pub category: SiteCategory,
+}
+
+/// A ranked list of top sites.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrancoList {
+    entries: Vec<TrancoEntry>,
+}
+
+impl TrancoList {
+    /// Build a ranking from `(domain, category)` pairs already in rank order.
+    pub fn from_ranked(entries: Vec<(DomainName, SiteCategory)>) -> TrancoList {
+        TrancoList {
+            entries: entries
+                .into_iter()
+                .enumerate()
+                .map(|(i, (domain, category))| TrancoEntry {
+                    rank: i + 1,
+                    domain,
+                    category,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of ranked sites.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = &TrancoEntry> {
+        self.entries.iter()
+    }
+
+    /// The top `n` entries.
+    pub fn top(&self, n: usize) -> &[TrancoEntry] {
+        &self.entries[..n.min(self.entries.len())]
+    }
+
+    /// The rank of a domain, if it is ranked.
+    pub fn rank_of(&self, domain: &DomainName) -> Option<usize> {
+        self.entries.iter().find(|e| &e.domain == domain).map(|e| e.rank)
+    }
+
+    /// Entries in the given category, in rank order.
+    pub fn in_category(&self, category: SiteCategory) -> Vec<&TrancoEntry> {
+        self.entries.iter().filter(|e| e.category == category).collect()
+    }
+
+    /// Entries *not* in the given category, in rank order.
+    pub fn outside_category(&self, category: SiteCategory) -> Vec<&TrancoEntry> {
+        self.entries.iter().filter(|e| e.category != category).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn sample() -> TrancoList {
+        TrancoList::from_ranked(vec![
+            (dn("searchhub.com"), SiteCategory::SearchEnginesAndPortals),
+            (dn("dailywire-news.com"), SiteCategory::NewsAndMedia),
+            (dn("shopmart.com"), SiteCategory::Shopping),
+            (dn("technews.com"), SiteCategory::NewsAndMedia),
+        ])
+    }
+
+    #[test]
+    fn ranks_are_one_based_and_ordered() {
+        let list = sample();
+        assert_eq!(list.len(), 4);
+        assert_eq!(list.iter().next().unwrap().rank, 1);
+        assert_eq!(list.rank_of(&dn("shopmart.com")), Some(3));
+        assert_eq!(list.rank_of(&dn("missing.com")), None);
+    }
+
+    #[test]
+    fn top_n_clamps() {
+        let list = sample();
+        assert_eq!(list.top(2).len(), 2);
+        assert_eq!(list.top(100).len(), 4);
+    }
+
+    #[test]
+    fn category_filters_partition_the_list() {
+        let list = sample();
+        let news = list.in_category(SiteCategory::NewsAndMedia);
+        let other = list.outside_category(SiteCategory::NewsAndMedia);
+        assert_eq!(news.len(), 2);
+        assert_eq!(other.len(), 2);
+        assert_eq!(news.len() + other.len(), list.len());
+        assert!(news.iter().all(|e| e.category == SiteCategory::NewsAndMedia));
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let list = TrancoList::default();
+        assert!(list.is_empty());
+        assert!(list.top(5).is_empty());
+        assert!(list.in_category(SiteCategory::NewsAndMedia).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for domain-name parsing and site computation.
+
+use std::fmt;
+
+/// Reasons a string fails to parse as a [`DomainName`](crate::DomainName), or
+/// a host fails site (eTLD+1) computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The input was empty.
+    Empty,
+    /// The full name exceeded 253 characters.
+    TooLong {
+        /// Observed length in bytes.
+        len: usize,
+    },
+    /// A label (dot-separated component) was empty, e.g. `a..b`.
+    EmptyLabel,
+    /// A label exceeded 63 characters.
+    LabelTooLong {
+        /// The offending label.
+        label: String,
+    },
+    /// A label contained a character outside `[a-z0-9-]` after lowercasing.
+    InvalidCharacter {
+        /// The offending label.
+        label: String,
+        /// The first invalid character found.
+        character: char,
+    },
+    /// A label started or ended with a hyphen.
+    HyphenAtEdge {
+        /// The offending label.
+        label: String,
+    },
+    /// The name had only one label (e.g. `localhost`), so no registrable
+    /// domain can be derived from it.
+    SingleLabel,
+    /// The entire name is itself a public suffix (e.g. `co.uk`), so it has
+    /// no registrable domain.
+    IsPublicSuffix {
+        /// The suffix in question.
+        suffix: String,
+    },
+    /// No public-suffix rule matched and the fallback single-label TLD rule
+    /// could not be applied.
+    NoSuffixMatch,
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "domain name is empty"),
+            DomainError::TooLong { len } => {
+                write!(f, "domain name is {len} bytes, exceeding the 253-byte limit")
+            }
+            DomainError::EmptyLabel => write!(f, "domain name contains an empty label"),
+            DomainError::LabelTooLong { label } => {
+                write!(f, "label '{label}' exceeds 63 characters")
+            }
+            DomainError::InvalidCharacter { label, character } => {
+                write!(f, "label '{label}' contains invalid character '{character}'")
+            }
+            DomainError::HyphenAtEdge { label } => {
+                write!(f, "label '{label}' starts or ends with a hyphen")
+            }
+            DomainError::SingleLabel => {
+                write!(f, "single-label names have no registrable domain")
+            }
+            DomainError::IsPublicSuffix { suffix } => {
+                write!(f, "'{suffix}' is itself a public suffix")
+            }
+            DomainError::NoSuffixMatch => write!(f, "no public suffix rule matched"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DomainError::LabelTooLong {
+            label: "x".repeat(64),
+        };
+        assert!(e.to_string().contains("63"));
+        let e = DomainError::InvalidCharacter {
+            label: "ab_c".into(),
+            character: '_',
+        };
+        assert!(e.to_string().contains('_'));
+        assert!(DomainError::Empty.to_string().contains("empty"));
+    }
+}

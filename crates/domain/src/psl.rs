@@ -1,0 +1,640 @@
+//! The Public Suffix List and eTLD+1 ("site") computation.
+//!
+//! Browsers treat the *site* — effective top-level domain plus one label
+//! (eTLD+1) — as the Web's privacy boundary (Section 2 of the paper). The
+//! effective TLDs are defined by Mozilla's Public Suffix List (PSL). This
+//! module implements the full PSL matching algorithm (longest-match over
+//! normal, wildcard `*.` and exception `!` rules) and ships an embedded
+//! snapshot of the suffixes needed by the study: generic TLDs, common
+//! second-level country-code registrations (`co.uk`, `com.au`, …) and the
+//! private-section suffixes that matter for RWS validation examples
+//! (`github.io`, `blogspot.com`, …).
+//!
+//! The RWS validation bot uses the same machinery to enforce that every set
+//! member is an eTLD+1 (Table 3's "… isn't an eTLD+1" error classes).
+
+use crate::error::DomainError;
+use crate::name::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kind of a PSL rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// A plain suffix rule, e.g. `com` or `co.uk`.
+    Normal,
+    /// A wildcard rule, e.g. `*.ck` (every label under `ck` is a suffix).
+    Wildcard,
+    /// An exception to a wildcard, e.g. `!www.ck` (despite `*.ck`,
+    /// `www.ck` is registrable).
+    Exception,
+}
+
+/// A single Public Suffix List rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The rule's labels, *without* any `*.` or `!` marker, right-most label
+    /// last (e.g. `["co", "uk"]`).
+    pub labels: Vec<String>,
+    /// What kind of rule this is.
+    pub kind: RuleKind,
+    /// Whether the rule comes from the ICANN section (true) or the private
+    /// section (false) of the list.
+    pub icann: bool,
+}
+
+impl Rule {
+    /// Parse one line of PSL syntax (`co.uk`, `*.ck`, `!www.ck`). Returns
+    /// `None` for comments and blank lines.
+    pub fn parse(line: &str, icann: bool) -> Option<Rule> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("//") {
+            return None;
+        }
+        let (kind, body) = if let Some(rest) = line.strip_prefix('!') {
+            (RuleKind::Exception, rest)
+        } else if let Some(rest) = line.strip_prefix("*.") {
+            (RuleKind::Wildcard, rest)
+        } else {
+            (RuleKind::Normal, line)
+        };
+        let labels: Vec<String> = body
+            .split('.')
+            .map(|l| l.trim().to_ascii_lowercase())
+            .collect();
+        if labels.iter().any(|l| l.is_empty()) {
+            return None;
+        }
+        Some(Rule { labels, kind, icann })
+    }
+
+    /// Number of labels the rule matches against (wildcards count the `*`).
+    fn match_len(&self) -> usize {
+        match self.kind {
+            RuleKind::Wildcard => self.labels.len() + 1,
+            _ => self.labels.len(),
+        }
+    }
+
+    /// Does this rule match the given host labels (right-aligned)?
+    fn matches(&self, host_labels: &[&str]) -> bool {
+        let needed = match self.kind {
+            RuleKind::Wildcard => self.labels.len() + 1,
+            _ => self.labels.len(),
+        };
+        if host_labels.len() < needed {
+            return false;
+        }
+        // Compare the rule's labels against the host's right-most labels.
+        let offset = host_labels.len() - self.labels.len();
+        host_labels[offset..]
+            .iter()
+            .zip(self.labels.iter())
+            .all(|(h, r)| *h == r)
+    }
+}
+
+/// A parsed Public Suffix List supporting lookup of the public suffix and
+/// the registrable domain (eTLD+1) of a host.
+#[derive(Debug, Clone)]
+pub struct PublicSuffixList {
+    /// Rules indexed by their right-most label for fast candidate lookup.
+    by_tld: HashMap<String, Vec<Rule>>,
+    rule_count: usize,
+}
+
+impl PublicSuffixList {
+    /// Build a list from already-parsed rules.
+    pub fn from_rules(rules: Vec<Rule>) -> PublicSuffixList {
+        let mut by_tld: HashMap<String, Vec<Rule>> = HashMap::new();
+        let rule_count = rules.len();
+        for rule in rules {
+            let tld = rule
+                .labels
+                .last()
+                .expect("rules always have at least one label")
+                .clone();
+            by_tld.entry(tld).or_default().push(rule);
+        }
+        PublicSuffixList { by_tld, rule_count }
+    }
+
+    /// Parse PSL text. Lines between `// ===BEGIN PRIVATE DOMAINS===` and
+    /// `// ===END PRIVATE DOMAINS===` are marked as private-section rules.
+    pub fn parse(text: &str) -> PublicSuffixList {
+        let mut rules = Vec::new();
+        let mut icann = true;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.contains("===BEGIN PRIVATE DOMAINS===") {
+                icann = false;
+                continue;
+            }
+            if trimmed.contains("===END PRIVATE DOMAINS===") {
+                icann = true;
+                continue;
+            }
+            if let Some(rule) = Rule::parse(line, icann) {
+                rules.push(rule);
+            }
+        }
+        PublicSuffixList::from_rules(rules)
+    }
+
+    /// The embedded snapshot shipped with this crate (see
+    /// [`EMBEDDED_PSL_SNAPSHOT`]).
+    pub fn embedded() -> PublicSuffixList {
+        PublicSuffixList::parse(EMBEDDED_PSL_SNAPSHOT)
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
+    }
+
+    /// Find the best (prevailing) rule for a host per the PSL algorithm:
+    /// exception rules beat everything; otherwise the rule matching the most
+    /// labels wins; if nothing matches, the implicit `*` rule (the bare TLD
+    /// is a suffix) applies.
+    fn prevailing_rule(&self, labels: &[&str]) -> Option<&Rule> {
+        let tld = *labels.last()?;
+        let candidates = self.by_tld.get(tld)?;
+        let mut best: Option<&Rule> = None;
+        for rule in candidates {
+            if !rule.matches(labels) {
+                continue;
+            }
+            if rule.kind == RuleKind::Exception {
+                return Some(rule);
+            }
+            best = match best {
+                Some(current) if current.match_len() >= rule.match_len() => Some(current),
+                _ => Some(rule),
+            };
+        }
+        best
+    }
+
+    /// The number of labels in the public suffix of the given host labels,
+    /// applying the implicit `*` rule when nothing matches.
+    fn suffix_label_count(&self, labels: &[&str]) -> usize {
+        match self.prevailing_rule(labels) {
+            Some(rule) => match rule.kind {
+                RuleKind::Normal => rule.labels.len(),
+                RuleKind::Wildcard => rule.labels.len() + 1,
+                // An exception rule's public suffix is the rule minus its
+                // left-most label.
+                RuleKind::Exception => rule.labels.len() - 1,
+            },
+            // Implicit "*" rule: the bare TLD is the public suffix.
+            None => 1,
+        }
+    }
+
+    /// The public suffix (eTLD) of a host, e.g. `co.uk` for
+    /// `www.example.co.uk`.
+    pub fn public_suffix(&self, host: &DomainName) -> Option<DomainName> {
+        let labels = host.labels();
+        let count = self.suffix_label_count(&labels);
+        if count > labels.len() {
+            // The whole host is shorter than the wildcard suffix; treat the
+            // entire name as a suffix (it is not registrable).
+            return host.suffix_labels(labels.len());
+        }
+        host.suffix_labels(count)
+    }
+
+    /// True if the host *is itself* a public suffix (e.g. `co.uk`, `com`).
+    pub fn is_public_suffix(&self, host: &DomainName) -> bool {
+        let labels = host.labels();
+        self.suffix_label_count(&labels) >= labels.len()
+    }
+
+    /// The registrable domain (eTLD+1, the "site") containing this host.
+    ///
+    /// Errors if the host is itself a public suffix or has too few labels —
+    /// exactly the condition the RWS validation bot reports as "site isn't
+    /// an eTLD+1" when the submitted domain has *extra* labels, or rejects
+    /// outright when the domain is a bare suffix.
+    pub fn registrable_domain(&self, host: &DomainName) -> Result<DomainName, DomainError> {
+        let labels = host.labels();
+        if labels.len() < 2 {
+            return Err(DomainError::SingleLabel);
+        }
+        let suffix_len = self.suffix_label_count(&labels);
+        if suffix_len >= labels.len() {
+            return Err(DomainError::IsPublicSuffix {
+                suffix: host.to_string(),
+            });
+        }
+        host.suffix_labels(suffix_len + 1)
+            .ok_or(DomainError::NoSuffixMatch)
+    }
+
+    /// True if the host is *exactly* an eTLD+1 (a registrable domain with no
+    /// extra labels) — the form the RWS submission guidelines require of
+    /// every set member.
+    pub fn is_etld_plus_one(&self, host: &DomainName) -> bool {
+        match self.registrable_domain(host) {
+            Ok(site) => site == *host,
+            Err(_) => false,
+        }
+    }
+
+    /// The second-level domain label of a host's registrable domain: the
+    /// label immediately left of the public suffix (`example` for
+    /// `www.example.co.uk`). This is the string compared in Figure 3.
+    pub fn second_level_label(&self, host: &DomainName) -> Option<String> {
+        let site = self.registrable_domain(host).ok()?;
+        Some(site.labels().first()?.to_string())
+    }
+
+    /// True if two hosts belong to the same site (same eTLD+1) — the
+    /// same-site check browsers use before any RWS exception is considered.
+    pub fn same_site(&self, a: &DomainName, b: &DomainName) -> bool {
+        match (self.registrable_domain(a), self.registrable_domain(b)) {
+            (Ok(sa), Ok(sb)) => sa == sb,
+            _ => false,
+        }
+    }
+
+    /// True if `candidate` looks like a ccTLD variant of `base`: same
+    /// second-level label, different public suffix, and the candidate's TLD
+    /// is a two-letter country code (possibly with a second-level country
+    /// registration such as `co.uk`).
+    pub fn is_cctld_variant(&self, candidate: &DomainName, base: &DomainName) -> bool {
+        let (Ok(cand_site), Ok(base_site)) = (
+            self.registrable_domain(candidate),
+            self.registrable_domain(base),
+        ) else {
+            return false;
+        };
+        if cand_site == base_site {
+            return false;
+        }
+        let (Some(cand_sld), Some(base_sld)) = (
+            self.second_level_label(candidate),
+            self.second_level_label(base),
+        ) else {
+            return false;
+        };
+        cand_sld == base_sld && cand_site.tld_label().len() == 2
+    }
+}
+
+impl Default for PublicSuffixList {
+    fn default() -> Self {
+        PublicSuffixList::embedded()
+    }
+}
+
+/// Convenience helper: method names mirroring the DomainName extensions.
+impl DomainName {
+    /// The second-level label of this name with respect to the given PSL.
+    pub fn second_level_label(&self, psl: &PublicSuffixList) -> Option<String> {
+        psl.second_level_label(self)
+    }
+
+    /// The registrable domain (site) of this name with respect to the PSL.
+    pub fn site(&self, psl: &PublicSuffixList) -> Result<DomainName, DomainError> {
+        psl.registrable_domain(self)
+    }
+}
+
+/// Embedded Public Suffix List snapshot.
+///
+/// This is a curated subset of the real list covering: all the generic TLDs
+/// used by the synthetic corpus, the country-code TLDs the RWS list's ccTLD
+/// subsets use, the second-level country registrations needed for correct
+/// eTLD+1 behaviour, a wildcard + exception pair to exercise the full
+/// algorithm, and a handful of private-section suffixes (hosting platforms)
+/// that the validation bot must treat as suffixes.
+pub const EMBEDDED_PSL_SNAPSHOT: &str = r#"
+// ===BEGIN ICANN DOMAINS===
+com
+org
+net
+edu
+gov
+int
+mil
+info
+biz
+name
+xyz
+site
+online
+shop
+store
+app
+dev
+io
+co
+ai
+tv
+me
+news
+blog
+cloud
+tech
+media
+agency
+digital
+// country-code TLDs
+us
+uk
+de
+fr
+in
+cn
+jp
+ru
+br
+au
+ca
+it
+es
+nl
+se
+no
+fi
+dk
+pl
+ch
+at
+be
+ie
+il
+nz
+za
+kr
+mx
+ar
+cl
+gr
+pt
+cz
+hu
+ro
+tr
+ua
+sg
+hk
+my
+th
+vn
+id
+ph
+ck
+// second-level country-code registrations
+co.uk
+org.uk
+ac.uk
+gov.uk
+me.uk
+net.uk
+com.au
+net.au
+org.au
+edu.au
+gov.au
+co.in
+net.in
+org.in
+firm.in
+gen.in
+ind.in
+com.br
+net.br
+org.br
+co.jp
+ne.jp
+or.jp
+ac.jp
+go.jp
+com.cn
+net.cn
+org.cn
+gov.cn
+co.kr
+or.kr
+com.mx
+org.mx
+com.ar
+com.sg
+com.hk
+com.my
+co.th
+com.tr
+com.ua
+co.za
+org.za
+co.nz
+net.nz
+org.nz
+co.il
+org.il
+ac.il
+com.es
+org.es
+com.pl
+net.pl
+org.pl
+com.ru
+org.ru
+net.ru
+// wildcard and exception rules (full algorithm coverage)
+*.ck
+!www.ck
+*.kawasaki.jp
+!city.kawasaki.jp
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+gitlab.io
+blogspot.com
+wordpress.com
+netlify.app
+vercel.app
+pages.dev
+web.app
+firebaseapp.com
+herokuapp.com
+azurewebsites.net
+cloudfront.net
+amazonaws.com
+fastly.net
+// ===END PRIVATE DOMAINS===
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::embedded()
+    }
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn embedded_list_loads() {
+        assert!(psl().rule_count() > 100);
+    }
+
+    #[test]
+    fn simple_gtld_site() {
+        let p = psl();
+        assert_eq!(p.registrable_domain(&dn("www.example.com")).unwrap(), dn("example.com"));
+        assert_eq!(p.registrable_domain(&dn("example.com")).unwrap(), dn("example.com"));
+        assert_eq!(p.public_suffix(&dn("www.example.com")).unwrap(), dn("com"));
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        let p = psl();
+        assert_eq!(
+            p.registrable_domain(&dn("shop.example.co.uk")).unwrap(),
+            dn("example.co.uk")
+        );
+        assert_eq!(p.public_suffix(&dn("shop.example.co.uk")).unwrap(), dn("co.uk"));
+        assert_eq!(p.second_level_label(&dn("shop.example.co.uk")).unwrap(), "example");
+    }
+
+    #[test]
+    fn bare_suffix_has_no_registrable_domain() {
+        let p = psl();
+        assert!(matches!(
+            p.registrable_domain(&dn("co.uk")),
+            Err(DomainError::IsPublicSuffix { .. })
+        ));
+        assert!(matches!(
+            p.registrable_domain(&dn("com")),
+            Err(DomainError::SingleLabel)
+        ));
+        assert!(p.is_public_suffix(&dn("co.uk")));
+        assert!(p.is_public_suffix(&dn("com")));
+        assert!(!p.is_public_suffix(&dn("example.com")));
+    }
+
+    #[test]
+    fn wildcard_rules() {
+        let p = psl();
+        // *.ck means every label under ck is a public suffix…
+        assert_eq!(
+            p.registrable_domain(&dn("www.example.wombat.ck")).unwrap(),
+            dn("example.wombat.ck")
+        );
+        assert!(p.is_public_suffix(&dn("wombat.ck")));
+        // …except the !www.ck exception, which makes www.ck registrable.
+        assert_eq!(p.registrable_domain(&dn("www.ck")).unwrap(), dn("www.ck"));
+        assert_eq!(p.registrable_domain(&dn("a.www.ck")).unwrap(), dn("www.ck"));
+    }
+
+    #[test]
+    fn wildcard_exception_kawasaki() {
+        let p = psl();
+        assert_eq!(
+            p.registrable_domain(&dn("a.b.kawasaki.jp")).unwrap(),
+            dn("a.b.kawasaki.jp")
+        );
+        assert_eq!(
+            p.registrable_domain(&dn("city.kawasaki.jp")).unwrap(),
+            dn("city.kawasaki.jp")
+        );
+        assert_eq!(
+            p.registrable_domain(&dn("x.city.kawasaki.jp")).unwrap(),
+            dn("city.kawasaki.jp")
+        );
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_implicit_rule() {
+        let p = psl();
+        // "example" TLD is not on the list → implicit * rule applies.
+        assert_eq!(
+            p.registrable_domain(&dn("foo.bar.example")).unwrap(),
+            dn("bar.example")
+        );
+        assert!(p.is_public_suffix(&dn("example")));
+    }
+
+    #[test]
+    fn private_section_suffixes() {
+        let p = psl();
+        assert_eq!(
+            p.registrable_domain(&dn("myproject.github.io")).unwrap(),
+            dn("myproject.github.io")
+        );
+        assert_eq!(
+            p.registrable_domain(&dn("deep.myproject.github.io")).unwrap(),
+            dn("myproject.github.io")
+        );
+        assert!(p.is_public_suffix(&dn("github.io")));
+    }
+
+    #[test]
+    fn is_etld_plus_one() {
+        let p = psl();
+        assert!(p.is_etld_plus_one(&dn("example.com")));
+        assert!(p.is_etld_plus_one(&dn("example.co.uk")));
+        assert!(!p.is_etld_plus_one(&dn("www.example.com")));
+        assert!(!p.is_etld_plus_one(&dn("co.uk")));
+        assert!(!p.is_etld_plus_one(&dn("com")));
+    }
+
+    #[test]
+    fn same_site_check() {
+        let p = psl();
+        assert!(p.same_site(&dn("a.example.com"), &dn("b.example.com")));
+        assert!(p.same_site(&dn("eff.org"), &dn("act.eff.org")));
+        assert!(!p.same_site(&dn("facebook.com"), &dn("mayoclinic.com")));
+        assert!(!p.same_site(&dn("example.com"), &dn("example.org")));
+        assert!(!p.same_site(&dn("com"), &dn("example.com")));
+    }
+
+    #[test]
+    fn cctld_variant_detection() {
+        let p = psl();
+        assert!(p.is_cctld_variant(&dn("example.de"), &dn("example.com")));
+        assert!(p.is_cctld_variant(&dn("example.co.uk"), &dn("example.com")));
+        assert!(!p.is_cctld_variant(&dn("example.com"), &dn("example.com")));
+        assert!(!p.is_cctld_variant(&dn("other.de"), &dn("example.com")));
+        // .org is not a ccTLD.
+        assert!(!p.is_cctld_variant(&dn("example.org"), &dn("example.com")));
+    }
+
+    #[test]
+    fn rule_parsing() {
+        assert!(Rule::parse("// comment", true).is_none());
+        assert!(Rule::parse("", true).is_none());
+        let r = Rule::parse("*.ck", true).unwrap();
+        assert_eq!(r.kind, RuleKind::Wildcard);
+        assert_eq!(r.labels, vec!["ck"]);
+        let r = Rule::parse("!www.ck", true).unwrap();
+        assert_eq!(r.kind, RuleKind::Exception);
+        let r = Rule::parse("CO.UK", false).unwrap();
+        assert_eq!(r.labels, vec!["co", "uk"]);
+        assert!(!r.icann);
+    }
+
+    #[test]
+    fn domain_name_site_helpers() {
+        let p = psl();
+        let host = dn("news.bild.de");
+        assert_eq!(host.site(&p).unwrap(), dn("bild.de"));
+        assert_eq!(host.second_level_label(&p).unwrap(), "bild");
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // A custom list where both `uk` and `co.uk` exist: co.uk must win.
+        let p = PublicSuffixList::parse("uk\nco.uk\n");
+        assert_eq!(
+            p.registrable_domain(&dn("a.b.co.uk")).unwrap(),
+            dn("b.co.uk")
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the domain substrate.
+
+use proptest::prelude::*;
+use rws_domain::{levenshtein, normalized_levenshtein, DomainName, PublicSuffixList};
+
+/// Strategy producing syntactically valid domain labels.
+fn label_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
+}
+
+/// Strategy producing syntactically valid multi-label domain names.
+fn domain_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(label_strategy(), 2..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_metric_axioms(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Levenshtein distance is bounded by the length of the longer string
+    /// and at least the difference in lengths.
+    #[test]
+    fn levenshtein_bounds(a in "[a-z]{0,15}", b in "[a-z]{0,15}") {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d <= la.max(lb));
+        prop_assert!(d >= la.abs_diff(lb));
+        let n = normalized_levenshtein(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+
+    /// Valid-looking domain strings parse, normalise idempotently, and
+    /// round-trip through Display.
+    #[test]
+    fn domain_parse_round_trip(name in domain_strategy()) {
+        let d = DomainName::parse(&name).unwrap();
+        prop_assert_eq!(d.as_str(), name.as_str());
+        let reparsed = DomainName::parse(&d.to_string()).unwrap();
+        prop_assert_eq!(reparsed, d);
+    }
+
+    /// Uppercasing the input never changes the parsed result.
+    #[test]
+    fn domain_parse_case_insensitive(name in domain_strategy()) {
+        let lower = DomainName::parse(&name).unwrap();
+        let upper = DomainName::parse(&name.to_ascii_uppercase()).unwrap();
+        prop_assert_eq!(lower, upper);
+    }
+
+    /// The registrable domain is idempotent: site(site(x)) == site(x), and
+    /// every host is a subdomain of its own site.
+    #[test]
+    fn registrable_domain_idempotent(name in domain_strategy()) {
+        let psl = PublicSuffixList::embedded();
+        let host = DomainName::parse(&name).unwrap();
+        if let Ok(site) = psl.registrable_domain(&host) {
+            prop_assert!(host.is_subdomain_of(&site));
+            let again = psl.registrable_domain(&site).unwrap();
+            prop_assert_eq!(again, site.clone());
+            prop_assert!(psl.is_etld_plus_one(&site));
+            // The public suffix of the host is a strict suffix of the site.
+            let suffix = psl.public_suffix(&host).unwrap();
+            prop_assert!(site.is_subdomain_of(&suffix));
+        }
+    }
+
+    /// same_site is reflexive for registrable hosts and symmetric always.
+    #[test]
+    fn same_site_properties(a in domain_strategy(), b in domain_strategy()) {
+        let psl = PublicSuffixList::embedded();
+        let da = DomainName::parse(&a).unwrap();
+        let db = DomainName::parse(&b).unwrap();
+        prop_assert_eq!(psl.same_site(&da, &db), psl.same_site(&db, &da));
+        if psl.registrable_domain(&da).is_ok() {
+            prop_assert!(psl.same_site(&da, &da));
+        }
+    }
+}

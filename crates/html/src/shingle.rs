@@ -1,0 +1,110 @@
+//! k-shingling and Jaccard similarity over sets.
+
+use std::collections::BTreeSet;
+use std::hash::Hash;
+
+/// The set of contiguous k-grams ("shingles") of a sequence.
+///
+/// If the sequence is shorter than `k` but non-empty, the whole sequence is
+/// returned as a single shingle, so short documents still compare sensibly.
+pub fn shingles<T: Clone + Ord>(sequence: &[T], k: usize) -> BTreeSet<Vec<T>> {
+    assert!(k > 0, "shingle size must be positive");
+    let mut out = BTreeSet::new();
+    if sequence.is_empty() {
+        return out;
+    }
+    if sequence.len() < k {
+        out.insert(sequence.to_vec());
+        return out;
+    }
+    for window in sequence.windows(k) {
+        out.insert(window.to_vec());
+    }
+    out
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` between two sets.
+///
+/// Two empty sets are defined to have similarity 1 (they are identical);
+/// one empty and one non-empty set have similarity 0.
+pub fn jaccard<T: Ord + Hash>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let intersection = a.intersection(b).count();
+    let union = a.len() + b.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shingles_of_short_sequence() {
+        let s = shingles(&[1, 2], 4);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&vec![1, 2]));
+    }
+
+    #[test]
+    fn shingles_of_empty_sequence() {
+        let s: BTreeSet<Vec<i32>> = shingles(&[], 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn shingles_windows() {
+        let s = shingles(&["a", "b", "c", "d"], 2);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&vec!["a", "b"]));
+        assert!(s.contains(&vec!["b", "c"]));
+        assert!(s.contains(&vec!["c", "d"]));
+    }
+
+    #[test]
+    fn shingles_deduplicate_repeats() {
+        let s = shingles(&[1, 1, 1, 1], 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shingle_size_panics() {
+        shingles(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        let a: BTreeSet<i32> = [1, 2, 3].into_iter().collect();
+        let b: BTreeSet<i32> = [4, 5].into_iter().collect();
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a: BTreeSet<i32> = [1, 2, 3].into_iter().collect();
+        let b: BTreeSet<i32> = [2, 3, 4].into_iter().collect();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_conventions() {
+        let empty: BTreeSet<i32> = BTreeSet::new();
+        let full: BTreeSet<i32> = [1].into_iter().collect();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&empty, &full), 0.0);
+        assert_eq!(jaccard(&full, &empty), 0.0);
+    }
+
+    #[test]
+    fn jaccard_symmetric() {
+        let a: BTreeSet<&str> = ["x", "y", "z"].into_iter().collect();
+        let b: BTreeSet<&str> = ["y", "z", "w", "v"].into_iter().collect();
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+    }
+}

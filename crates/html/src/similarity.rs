@@ -1,0 +1,208 @@
+//! The three HTML similarity metrics of Figure 4.
+//!
+//! Following the `html-similarity` library the paper uses:
+//!
+//! * **structural similarity** compares the documents' tag sequences via
+//!   Jaccard similarity over k-shingles (default `k = 4`) of the sequence;
+//! * **style similarity** is the Jaccard similarity of the documents' CSS
+//!   class sets;
+//! * **joint similarity** is `k · structural + (1 − k) · style` with the
+//!   library's default weighting `k = 0.3`.
+
+use crate::extract::{class_set, tag_sequence};
+use crate::shingle::{jaccard, shingles};
+use serde::{Deserialize, Serialize};
+
+/// Weights and parameters for the joint similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityWeights {
+    /// Weight of the structural component in the joint score (the
+    /// `html-similarity` `k` parameter; its default is 0.3).
+    pub structural_weight: f64,
+    /// Shingle length used when comparing tag sequences.
+    pub shingle_size: usize,
+}
+
+impl Default for SimilarityWeights {
+    fn default() -> Self {
+        SimilarityWeights {
+            structural_weight: 0.3,
+            shingle_size: 4,
+        }
+    }
+}
+
+impl SimilarityWeights {
+    /// Validate the weights: the structural weight must lie in `[0, 1]` and
+    /// the shingle size must be positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.structural_weight) {
+            return Err(format!(
+                "structural_weight must be in [0,1], got {}",
+                self.structural_weight
+            ));
+        }
+        if self.shingle_size == 0 {
+            return Err("shingle_size must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The result of comparing two HTML documents — one point of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HtmlSimilarity {
+    /// Style similarity (CSS class Jaccard), in `[0, 1]`.
+    pub style: f64,
+    /// Structural similarity (tag-sequence shingle Jaccard), in `[0, 1]`.
+    pub structural: f64,
+    /// Joint similarity (weighted sum), in `[0, 1]`.
+    pub joint: f64,
+}
+
+/// Style similarity: Jaccard similarity of the two documents' class sets.
+pub fn style_similarity(html_a: &str, html_b: &str) -> f64 {
+    let a = class_set(html_a);
+    let b = class_set(html_b);
+    jaccard(&a, &b)
+}
+
+/// Structural similarity: Jaccard similarity of k-shingles of the two
+/// documents' tag sequences.
+pub fn structural_similarity(html_a: &str, html_b: &str, shingle_size: usize) -> f64 {
+    let a = shingles(&tag_sequence(html_a), shingle_size);
+    let b = shingles(&tag_sequence(html_b), shingle_size);
+    jaccard(&a, &b)
+}
+
+/// Compute all three metrics for a pair of documents.
+pub fn html_similarity(html_a: &str, html_b: &str, weights: SimilarityWeights) -> HtmlSimilarity {
+    weights
+        .validate()
+        .expect("invalid similarity weights supplied");
+    let style = style_similarity(html_a, html_b);
+    let structural = structural_similarity(html_a, html_b, weights.shingle_size);
+    let joint = weights.structural_weight * structural + (1.0 - weights.structural_weight) * style;
+    HtmlSimilarity {
+        style,
+        structural,
+        joint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE_A: &str = r#"
+        <html><body>
+          <div class="nav brand"><a class="logo" href="/">Home</a></div>
+          <div class="content"><p class="story">Alpha</p><p class="story">Beta</p></div>
+          <div class="footer"><span class="copyright">2024</span></div>
+        </body></html>"#;
+
+    /// Same template as PAGE_A, different text.
+    const PAGE_A2: &str = r#"
+        <html><body>
+          <div class="nav brand"><a class="logo" href="/">Start</a></div>
+          <div class="content"><p class="story">Gamma</p><p class="story">Delta</p></div>
+          <div class="footer"><span class="copyright">2024</span></div>
+        </body></html>"#;
+
+    /// A completely different template.
+    const PAGE_B: &str = r#"
+        <html><body>
+          <table class="products"><tr><td class="sku">1</td><td class="price">9.99</td></tr></table>
+          <form class="checkout"><input name="qty"><button class="buy">Buy</button></form>
+        </body></html>"#;
+
+    #[test]
+    fn identical_documents_score_one() {
+        let s = html_similarity(PAGE_A, PAGE_A, SimilarityWeights::default());
+        assert_eq!(s.style, 1.0);
+        assert_eq!(s.structural, 1.0);
+        assert!((s.joint - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_template_different_text_scores_high() {
+        let s = html_similarity(PAGE_A, PAGE_A2, SimilarityWeights::default());
+        assert_eq!(s.style, 1.0, "class sets identical");
+        assert_eq!(s.structural, 1.0, "tag sequences identical");
+    }
+
+    #[test]
+    fn different_templates_score_low() {
+        let s = html_similarity(PAGE_A, PAGE_B, SimilarityWeights::default());
+        assert_eq!(s.style, 0.0, "no shared classes");
+        assert!(s.structural < 0.3, "structures differ: {}", s.structural);
+        assert!(s.joint < 0.3);
+    }
+
+    #[test]
+    fn joint_is_weighted_sum() {
+        let w = SimilarityWeights {
+            structural_weight: 0.3,
+            shingle_size: 4,
+        };
+        let s = html_similarity(PAGE_A, PAGE_B, w);
+        let expected = 0.3 * s.structural + 0.7 * s.style;
+        assert!((s.joint - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_weights_select_single_component() {
+        let only_structural = SimilarityWeights {
+            structural_weight: 1.0,
+            shingle_size: 4,
+        };
+        let only_style = SimilarityWeights {
+            structural_weight: 0.0,
+            shingle_size: 4,
+        };
+        let s1 = html_similarity(PAGE_A, PAGE_A2, only_structural);
+        let s2 = html_similarity(PAGE_A, PAGE_A2, only_style);
+        assert_eq!(s1.joint, s1.structural);
+        assert_eq!(s2.joint, s2.style);
+    }
+
+    #[test]
+    fn empty_documents_conventions() {
+        let s = html_similarity("", "", SimilarityWeights::default());
+        assert_eq!(s.style, 1.0);
+        assert_eq!(s.structural, 1.0);
+        let s = html_similarity(PAGE_A, "", SimilarityWeights::default());
+        assert_eq!(s.style, 0.0);
+        assert_eq!(s.structural, 0.0);
+    }
+
+    #[test]
+    fn weights_validation() {
+        assert!(SimilarityWeights::default().validate().is_ok());
+        assert!(SimilarityWeights {
+            structural_weight: 1.5,
+            shingle_size: 4
+        }
+        .validate()
+        .is_err());
+        assert!(SimilarityWeights {
+            structural_weight: 0.3,
+            shingle_size: 0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid similarity weights")]
+    fn invalid_weights_panic_when_used() {
+        html_similarity(
+            PAGE_A,
+            PAGE_B,
+            SimilarityWeights {
+                structural_weight: 2.0,
+                shingle_size: 4,
+            },
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! A forgiving HTML tokenizer.
+//!
+//! Real-world HTML — which is what the paper's similarity analysis runs on —
+//! is rarely well-formed, so this tokenizer never fails: it scans the input
+//! once and produces a stream of [`Token`]s, skipping comments, doctypes and
+//! the contents of `<script>`/`<style>` elements (their text would otherwise
+//! pollute the text extraction), and tolerating unquoted or missing
+//! attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single HTML token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// An opening (or self-closing) tag with its attributes.
+    Open {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attribute map (names lower-cased; value empty for bare attributes).
+        attributes: BTreeMap<String, String>,
+        /// True for `<br/>`-style self-closing syntax or void elements.
+        self_closing: bool,
+    },
+    /// A closing tag.
+    Close {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A run of text between tags (entity references left as-is).
+    Text(String),
+}
+
+/// HTML void elements, which never have closing tags.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
+];
+
+/// Elements whose raw text content is skipped entirely.
+const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style"];
+
+/// Tokenize an HTML document.
+pub fn tokenize(html: &str) -> Vec<Token> {
+    let bytes = html.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let len = bytes.len();
+
+    while i < len {
+        if bytes[i] == b'<' {
+            // Comment?
+            if html[i..].starts_with("<!--") {
+                match html[i + 4..].find("-->") {
+                    Some(end) => {
+                        i = i + 4 + end + 3;
+                    }
+                    None => break,
+                }
+                continue;
+            }
+            // Doctype or other declaration?
+            if html[i..].starts_with("<!") || html[i..].starts_with("<?") {
+                match html[i..].find('>') {
+                    Some(end) => {
+                        i += end + 1;
+                    }
+                    None => break,
+                }
+                continue;
+            }
+            // Find the end of the tag.
+            let Some(rel_end) = html[i..].find('>') else {
+                // Unterminated tag: treat the rest as text.
+                push_text(&mut tokens, &html[i..]);
+                break;
+            };
+            let tag_body = &html[i + 1..i + rel_end];
+            i += rel_end + 1;
+            if tag_body.is_empty() {
+                continue;
+            }
+            if let Some(name) = tag_body.strip_prefix('/') {
+                let name = name.trim().to_ascii_lowercase();
+                if !name.is_empty() {
+                    tokens.push(Token::Close { name });
+                }
+                continue;
+            }
+            let (name, attributes, explicit_self_close) = parse_tag_body(tag_body);
+            if name.is_empty() {
+                continue;
+            }
+            let self_closing = explicit_self_close || VOID_ELEMENTS.contains(&name.as_str());
+            let is_raw_text = RAW_TEXT_ELEMENTS.contains(&name.as_str());
+            tokens.push(Token::Open {
+                name: name.clone(),
+                attributes,
+                self_closing,
+            });
+            // Skip the raw content of <script>/<style> up to the matching
+            // closing tag.
+            if is_raw_text && !self_closing {
+                let close_marker = format!("</{name}");
+                if let Some(rel) = html[i..].to_ascii_lowercase().find(&close_marker) {
+                    i += rel;
+                    if let Some(end) = html[i..].find('>') {
+                        tokens.push(Token::Close { name });
+                        i += end + 1;
+                    }
+                } else {
+                    // Unterminated raw-text element: consume to the end.
+                    break;
+                }
+            }
+        } else {
+            let next_tag = html[i..].find('<').map(|o| i + o).unwrap_or(len);
+            push_text(&mut tokens, &html[i..next_tag]);
+            i = next_tag;
+        }
+    }
+    tokens
+}
+
+fn push_text(tokens: &mut Vec<Token>, raw: &str) {
+    let collapsed = raw.split_whitespace().collect::<Vec<_>>().join(" ");
+    if !collapsed.is_empty() {
+        tokens.push(Token::Text(collapsed));
+    }
+}
+
+/// Parse the inside of a tag: name, attributes, self-closing marker.
+fn parse_tag_body(body: &str) -> (String, BTreeMap<String, String>, bool) {
+    let body = body.trim();
+    let (body, self_closing) = match body.strip_suffix('/') {
+        Some(rest) => (rest.trim(), true),
+        None => (body, false),
+    };
+    // Tag name: up to the first whitespace.
+    let mut name_end = body.len();
+    for (idx, c) in body.char_indices() {
+        if c.is_whitespace() {
+            name_end = idx;
+            break;
+        }
+    }
+    let name = body[..name_end].to_ascii_lowercase();
+    let mut attributes = BTreeMap::new();
+    let attr_str = &body[name_end..];
+    let mut rest = attr_str.trim_start();
+    while !rest.is_empty() {
+        // Attribute name.
+        let name_len = rest
+            .find(|c: char| c == '=' || c.is_whitespace())
+            .unwrap_or(rest.len());
+        let attr_name = rest[..name_len].trim().to_ascii_lowercase();
+        rest = rest[name_len..].trim_start();
+        if attr_name.is_empty() {
+            // Defensive: skip a stray character to guarantee progress.
+            rest = &rest[rest.len().min(1)..];
+            continue;
+        }
+        if let Some(after_eq) = rest.strip_prefix('=') {
+            let after_eq = after_eq.trim_start();
+            let (value, remainder) = if let Some(q) = after_eq.strip_prefix('"') {
+                match q.find('"') {
+                    Some(end) => (q[..end].to_string(), &q[end + 1..]),
+                    None => (q.to_string(), ""),
+                }
+            } else if let Some(q) = after_eq.strip_prefix('\'') {
+                match q.find('\'') {
+                    Some(end) => (q[..end].to_string(), &q[end + 1..]),
+                    None => (q.to_string(), ""),
+                }
+            } else {
+                let end = after_eq
+                    .find(char::is_whitespace)
+                    .unwrap_or(after_eq.len());
+                (after_eq[..end].to_string(), &after_eq[end..])
+            };
+            attributes.insert(attr_name, value);
+            rest = remainder.trim_start();
+        } else {
+            // Bare attribute (e.g. `disabled`).
+            attributes.insert(attr_name, String::new());
+        }
+    }
+    (name, attributes, self_closing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(tokens: &[Token]) -> Vec<&str> {
+        tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Open { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_document() {
+        let tokens = tokenize("<html><body><p>Hello</p></body></html>");
+        assert_eq!(open(&tokens), vec!["html", "body", "p"]);
+        assert!(tokens.contains(&Token::Text("Hello".into())));
+        assert!(tokens.contains(&Token::Close { name: "p".into() }));
+    }
+
+    #[test]
+    fn parses_attributes_quoted_and_unquoted() {
+        let tokens = tokenize(r#"<div class="nav main" id=content data-x='1' hidden>x</div>"#);
+        match &tokens[0] {
+            Token::Open { name, attributes, .. } => {
+                assert_eq!(name, "div");
+                assert_eq!(attributes.get("class").unwrap(), "nav main");
+                assert_eq!(attributes.get("id").unwrap(), "content");
+                assert_eq!(attributes.get("data-x").unwrap(), "1");
+                assert_eq!(attributes.get("hidden").unwrap(), "");
+            }
+            other => panic!("expected open tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_names_and_attribute_names_lowercased() {
+        let tokens = tokenize(r#"<DIV CLASS="Big">x</DIV>"#);
+        match &tokens[0] {
+            Token::Open { name, attributes, .. } => {
+                assert_eq!(name, "div");
+                // Attribute values keep their case.
+                assert_eq!(attributes.get("class").unwrap(), "Big");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tokens.contains(&Token::Close { name: "div".into() }));
+    }
+
+    #[test]
+    fn void_and_self_closing_elements() {
+        let tokens = tokenize(r#"<img src="x.png"><br/><link rel="stylesheet">"#);
+        let flags: Vec<bool> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Open { self_closing, .. } => Some(*self_closing),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flags, vec![true, true, true]);
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let tokens = tokenize("<!DOCTYPE html><!-- a <b> comment --><p>text</p>");
+        assert_eq!(open(&tokens), vec!["p"]);
+    }
+
+    #[test]
+    fn script_and_style_contents_skipped() {
+        let html = r#"<script>var x = "<p>not a tag</p>";</script><style>.a{color:red}</style><p>real</p>"#;
+        let tokens = tokenize(html);
+        assert_eq!(open(&tokens), vec!["script", "style", "p"]);
+        // The script body must not appear as text.
+        assert!(!tokens
+            .iter()
+            .any(|t| matches!(t, Token::Text(s) if s.contains("not a tag"))));
+        assert!(tokens.contains(&Token::Text("real".into())));
+    }
+
+    #[test]
+    fn whitespace_collapsed_in_text() {
+        let tokens = tokenize("<p>  hello \n\t world  </p>");
+        assert!(tokens.contains(&Token::Text("hello world".into())));
+    }
+
+    #[test]
+    fn malformed_html_does_not_panic() {
+        for html in [
+            "<div><p>unclosed",
+            "text only",
+            "<<>>",
+            "<div class=>broken</div>",
+            "<",
+            "<!-- unterminated comment",
+            "<script>never closed",
+            "",
+        ] {
+            let _ = tokenize(html);
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n  ").is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the HTML substrate.
+
+use proptest::prelude::*;
+use rws_html::similarity::{html_similarity, SimilarityWeights};
+use rws_html::{class_set, jaccard, shingles, tag_sequence, tokenize};
+use std::collections::BTreeSet;
+
+/// Strategy producing small, nested, well-formed HTML snippets.
+fn html_strategy() -> impl Strategy<Value = String> {
+    let leaf = ("[a-z]{1,8}", proptest::option::of("[a-z]{1,6}( [a-z]{1,6}){0,2}"))
+        .prop_map(|(text, class)| match class {
+            Some(c) => format!(r#"<p class="{c}">{text}</p>"#),
+            None => format!("<p>{text}</p>"),
+        });
+    proptest::collection::vec(leaf, 0..10).prop_map(|parts| {
+        format!("<html><body><div class=\"wrap\">{}</div></body></html>", parts.join(""))
+    })
+}
+
+proptest! {
+    /// The tokenizer never panics on arbitrary input.
+    #[test]
+    fn tokenizer_total_on_arbitrary_input(input in ".{0,400}") {
+        let _ = tokenize(&input);
+        let _ = tag_sequence(&input);
+        let _ = class_set(&input);
+    }
+
+    /// All similarity scores stay in [0, 1] and a document compared with
+    /// itself scores exactly 1 on every axis.
+    #[test]
+    fn similarity_bounded_and_reflexive(a in html_strategy(), b in html_strategy()) {
+        let s = html_similarity(&a, &b, SimilarityWeights::default());
+        prop_assert!((0.0..=1.0).contains(&s.style));
+        prop_assert!((0.0..=1.0).contains(&s.structural));
+        prop_assert!((0.0..=1.0).contains(&s.joint));
+
+        let same = html_similarity(&a, &a, SimilarityWeights::default());
+        prop_assert_eq!(same.style, 1.0);
+        prop_assert_eq!(same.structural, 1.0);
+        prop_assert!((same.joint - 1.0).abs() < 1e-12);
+    }
+
+    /// Similarity is symmetric in its two arguments.
+    #[test]
+    fn similarity_symmetric(a in html_strategy(), b in html_strategy()) {
+        let ab = html_similarity(&a, &b, SimilarityWeights::default());
+        let ba = html_similarity(&b, &a, SimilarityWeights::default());
+        prop_assert!((ab.style - ba.style).abs() < 1e-12);
+        prop_assert!((ab.structural - ba.structural).abs() < 1e-12);
+        prop_assert!((ab.joint - ba.joint).abs() < 1e-12);
+    }
+
+    /// The joint score is always between min and max of its two components.
+    #[test]
+    fn joint_between_components(a in html_strategy(), b in html_strategy()) {
+        let s = html_similarity(&a, &b, SimilarityWeights::default());
+        let lo = s.style.min(s.structural) - 1e-12;
+        let hi = s.style.max(s.structural) + 1e-12;
+        prop_assert!(s.joint >= lo && s.joint <= hi);
+    }
+
+    /// Jaccard over shingles is bounded and reflexive for arbitrary tag
+    /// sequences.
+    #[test]
+    fn shingle_jaccard_properties(seq_a in proptest::collection::vec("[a-z]{1,5}", 0..30), seq_b in proptest::collection::vec("[a-z]{1,5}", 0..30), k in 1usize..6) {
+        let sa = shingles(&seq_a, k);
+        let sb = shingles(&seq_b, k);
+        let j = jaccard(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(jaccard(&sa, &sa), 1.0);
+        // Number of shingles never exceeds the sequence length.
+        prop_assert!(sa.len() <= seq_a.len().max(1));
+    }
+
+    /// Class extraction returns exactly the classes present in generated HTML.
+    #[test]
+    fn class_extraction_matches_generation(classes in proptest::collection::btree_set("[a-z]{2,8}", 0..8)) {
+        let html = classes
+            .iter()
+            .map(|c| format!(r#"<div class="{c}">x</div>"#))
+            .collect::<Vec<_>>()
+            .join("");
+        let extracted: BTreeSet<String> = class_set(&html);
+        prop_assert_eq!(extracted, classes);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the simulated network layer.
+
+use std::fmt;
+
+/// Failures that the simulated fetcher can report.
+///
+/// These mirror the failure classes the RWS validation bot distinguishes
+/// ("unable to fetch the .well-known JSON file" covers DNS failure,
+/// connection refusal, non-success statuses and malformed payloads alike).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The URL string could not be parsed.
+    InvalidUrl {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// No host with that name is registered in the simulated web.
+    HostNotFound {
+        /// The host that failed to resolve.
+        host: String,
+    },
+    /// The host exists but refused the connection (simulated outage).
+    ConnectionRefused {
+        /// The unreachable host.
+        host: String,
+    },
+    /// The request required HTTPS but the URL (or a redirect target) was
+    /// plain HTTP. The RWS submission guidelines forbid non-HTTPS sites.
+    HttpsRequired {
+        /// The offending URL.
+        url: String,
+    },
+    /// The server did not have a resource at the requested path.
+    ///
+    /// Carried as an error only when the caller asked for errors on
+    /// non-success statuses; otherwise a 404 [`Response`](crate::Response)
+    /// is returned.
+    NotFound {
+        /// The URL that produced the 404.
+        url: String,
+    },
+    /// Redirect chain exceeded the fetch policy's limit.
+    TooManyRedirects {
+        /// The URL that started the chain.
+        start: String,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The response body was expected to be JSON but did not parse.
+    InvalidJson {
+        /// The URL whose body failed to parse.
+        url: String,
+        /// Parser error message.
+        reason: String,
+    },
+    /// The simulated host timed out (latency exceeded the policy deadline).
+    Timeout {
+        /// The URL that timed out.
+        url: String,
+        /// Simulated latency in milliseconds.
+        latency_ms: u64,
+        /// The policy deadline in milliseconds.
+        deadline_ms: u64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidUrl { input, reason } => {
+                write!(f, "invalid URL '{input}': {reason}")
+            }
+            NetError::HostNotFound { host } => write!(f, "host '{host}' not found"),
+            NetError::ConnectionRefused { host } => {
+                write!(f, "connection to '{host}' refused")
+            }
+            NetError::HttpsRequired { url } => {
+                write!(f, "HTTPS required but '{url}' is not https")
+            }
+            NetError::NotFound { url } => write!(f, "resource not found at '{url}'"),
+            NetError::TooManyRedirects { start, limit } => {
+                write!(f, "more than {limit} redirects starting from '{start}'")
+            }
+            NetError::InvalidJson { url, reason } => {
+                write!(f, "body at '{url}' is not valid JSON: {reason}")
+            }
+            NetError::Timeout {
+                url,
+                latency_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "request to '{url}' timed out ({latency_ms}ms > {deadline_ms}ms deadline)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NetError::HostNotFound {
+            host: "missing.example".into(),
+        };
+        assert!(e.to_string().contains("missing.example"));
+        let e = NetError::TooManyRedirects {
+            start: "https://a.example/".into(),
+            limit: 5,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = NetError::Timeout {
+            url: "https://slow.example/".into(),
+            latency_ms: 900,
+            deadline_ms: 500,
+        };
+        assert!(e.to_string().contains("900"));
+    }
+}

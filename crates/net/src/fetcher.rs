@@ -1,0 +1,400 @@
+//! The fetcher client: policy-driven retrieval from the simulated web.
+
+use crate::error::NetError;
+use crate::headers::HeaderMap;
+use crate::message::{Method, Request, Response, StatusCode};
+use crate::url::Url;
+use crate::web::{PageContent, ServedPage, SimulatedWeb};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Client-side fetch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchPolicy {
+    /// Maximum number of redirects to follow before giving up.
+    pub max_redirects: usize,
+    /// If true, any non-https URL (initial or redirect target) fails with
+    /// [`NetError::HttpsRequired`] — the posture of the RWS validation bot.
+    pub require_https: bool,
+    /// Simulated deadline in milliseconds; responses whose accumulated
+    /// latency exceeds it fail with [`NetError::Timeout`].
+    pub deadline_ms: u64,
+}
+
+impl Default for FetchPolicy {
+    fn default() -> Self {
+        FetchPolicy {
+            max_redirects: 5,
+            require_https: false,
+            deadline_ms: 30_000,
+        }
+    }
+}
+
+impl FetchPolicy {
+    /// The policy used by the RWS validation bot: HTTPS required, few
+    /// redirects, a short deadline.
+    pub fn strict() -> FetchPolicy {
+        FetchPolicy {
+            max_redirects: 3,
+            require_https: true,
+            deadline_ms: 10_000,
+        }
+    }
+}
+
+/// A deterministic HTTP client over a [`SimulatedWeb`].
+///
+/// The fetcher records every request it issues so experiments can report
+/// crawl sizes and so tests can assert on traffic.
+#[derive(Debug, Clone)]
+pub struct Fetcher {
+    web: SimulatedWeb,
+    policy: FetchPolicy,
+    log: Arc<Mutex<Vec<Request>>>,
+}
+
+impl Fetcher {
+    /// Create a fetcher with the default policy.
+    pub fn new(web: SimulatedWeb) -> Fetcher {
+        Fetcher::with_policy(web, FetchPolicy::default())
+    }
+
+    /// Create a fetcher with an explicit policy.
+    pub fn with_policy(web: SimulatedWeb, policy: FetchPolicy) -> Fetcher {
+        Fetcher {
+            web,
+            policy,
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> FetchPolicy {
+        self.policy
+    }
+
+    /// The underlying simulated web.
+    pub fn web(&self) -> &SimulatedWeb {
+        &self.web
+    }
+
+    /// Number of requests issued so far (including redirect hops).
+    pub fn requests_issued(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// A copy of the request log.
+    pub fn request_log(&self) -> Vec<Request> {
+        self.log.lock().clone()
+    }
+
+    /// GET a URL, following redirects per policy.
+    pub fn get(&self, url: &Url) -> Result<Response, NetError> {
+        self.execute(Method::Get, url)
+    }
+
+    /// HEAD a URL, following redirects per policy. The response body is
+    /// always empty but headers and status are as GET would produce.
+    pub fn head(&self, url: &Url) -> Result<Response, NetError> {
+        self.execute(Method::Head, url)
+    }
+
+    /// GET a URL and parse the body as JSON.
+    pub fn get_json(&self, url: &Url) -> Result<serde_json::Value, NetError> {
+        let resp = self.get(url)?;
+        if !resp.status.is_success() {
+            return Err(NetError::NotFound {
+                url: url.to_string(),
+            });
+        }
+        resp.body_json()
+    }
+
+    fn execute(&self, method: Method, start: &Url) -> Result<Response, NetError> {
+        let mut current = start.clone();
+        let mut total_latency: u64 = 0;
+        let mut redirects = 0usize;
+
+        loop {
+            if self.policy.require_https && !current.is_https() {
+                return Err(NetError::HttpsRequired {
+                    url: current.to_string(),
+                });
+            }
+            self.log.lock().push(Request {
+                method,
+                url: current.clone(),
+                headers: HeaderMap::new(),
+            });
+
+            let served = self.web.serve(&current);
+            let (status, mut headers, body, latency) = match served {
+                ServedPage::NoSuchHost => {
+                    return Err(NetError::HostNotFound {
+                        host: current.host.to_string(),
+                    })
+                }
+                ServedPage::Refused => {
+                    return Err(NetError::ConnectionRefused {
+                        host: current.host.to_string(),
+                    })
+                }
+                ServedPage::TlsUnavailable => {
+                    return Err(NetError::ConnectionRefused {
+                        host: current.host.to_string(),
+                    })
+                }
+                ServedPage::Missing { latency } => (
+                    StatusCode::NOT_FOUND,
+                    HeaderMap::new(),
+                    String::new(),
+                    latency.latency_for(0),
+                ),
+                ServedPage::Content {
+                    content,
+                    extra_headers,
+                    latency,
+                } => match content {
+                    PageContent::Html(html) => {
+                        let lat = latency.latency_for(html.len());
+                        let mut h = extra_headers;
+                        h.set("Content-Type", "text/html; charset=utf-8");
+                        (StatusCode::OK, h, html, lat)
+                    }
+                    PageContent::Json(json) => {
+                        let lat = latency.latency_for(json.len());
+                        let mut h = extra_headers;
+                        h.set("Content-Type", "application/json");
+                        (StatusCode::OK, h, json, lat)
+                    }
+                    PageContent::Text(text) => {
+                        let lat = latency.latency_for(text.len());
+                        let mut h = extra_headers;
+                        h.set("Content-Type", "text/plain; charset=utf-8");
+                        (StatusCode::OK, h, text, lat)
+                    }
+                    PageContent::Redirect {
+                        location,
+                        permanent,
+                    } => {
+                        let status = if permanent {
+                            StatusCode::MOVED_PERMANENTLY
+                        } else {
+                            StatusCode::FOUND
+                        };
+                        let mut h = extra_headers;
+                        h.set("Location", location.clone());
+                        (status, h, String::new(), latency.latency_for(0))
+                    }
+                    PageContent::Error { status, body } => {
+                        let lat = latency.latency_for(body.len());
+                        (status, extra_headers, body, lat)
+                    }
+                },
+            };
+
+            total_latency += latency;
+            if total_latency > self.policy.deadline_ms {
+                return Err(NetError::Timeout {
+                    url: current.to_string(),
+                    latency_ms: total_latency,
+                    deadline_ms: self.policy.deadline_ms,
+                });
+            }
+
+            if status.is_redirect() {
+                if redirects >= self.policy.max_redirects {
+                    return Err(NetError::TooManyRedirects {
+                        start: start.to_string(),
+                        limit: self.policy.max_redirects,
+                    });
+                }
+                let location = headers.get("location").unwrap_or("/").to_string();
+                current = current.join(&location)?;
+                redirects += 1;
+                continue;
+            }
+
+            let body_bytes = if method == Method::Head {
+                Bytes::new()
+            } else {
+                Bytes::from(body)
+            };
+            if method == Method::Head {
+                headers.set("Content-Length", body_bytes.len().to_string());
+            }
+            return Ok(Response {
+                url: current,
+                status,
+                headers,
+                body: body_bytes,
+                latency_ms: total_latency,
+                redirects_followed: redirects,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::SiteHost;
+
+    fn web_with_example() -> SimulatedWeb {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "<html><body>home page</body></html>");
+        host.add_json("/data.json", r#"{"ok": true}"#);
+        host.add_content(
+            "/old",
+            PageContent::Redirect {
+                location: "/".to_string(),
+                permanent: true,
+            },
+        );
+        host.add_content(
+            "/loop",
+            PageContent::Redirect {
+                location: "/loop".to_string(),
+                permanent: false,
+            },
+        );
+        host.add_content(
+            "/gone",
+            PageContent::Error {
+                status: StatusCode::GONE,
+                body: "gone".to_string(),
+            },
+        );
+        web.register(host);
+        web
+    }
+
+    #[test]
+    fn get_success() {
+        let fetcher = Fetcher::new(web_with_example());
+        let resp = fetcher
+            .get(&Url::parse("https://example.com/").unwrap())
+            .unwrap();
+        assert!(resp.status.is_success());
+        assert!(resp.body_text().contains("home page"));
+        assert_eq!(resp.content_type(), Some("text/html; charset=utf-8"));
+        assert!(resp.latency_ms > 0);
+        assert_eq!(fetcher.requests_issued(), 1);
+    }
+
+    #[test]
+    fn get_missing_path_is_404_response_not_error() {
+        let fetcher = Fetcher::new(web_with_example());
+        let resp = fetcher
+            .get(&Url::parse("https://example.com/nope").unwrap())
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn get_unknown_host_is_error() {
+        let fetcher = Fetcher::new(web_with_example());
+        let err = fetcher
+            .get(&Url::parse("https://unknown.example/").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NetError::HostNotFound { .. }));
+    }
+
+    #[test]
+    fn redirects_are_followed() {
+        let fetcher = Fetcher::new(web_with_example());
+        let resp = fetcher
+            .get(&Url::parse("https://example.com/old").unwrap())
+            .unwrap();
+        assert!(resp.status.is_success());
+        assert_eq!(resp.redirects_followed, 1);
+        assert_eq!(resp.url.path, "/");
+        // Two requests logged: the redirect and the destination.
+        assert_eq!(fetcher.requests_issued(), 2);
+    }
+
+    #[test]
+    fn redirect_loops_are_bounded() {
+        let fetcher = Fetcher::new(web_with_example());
+        let err = fetcher
+            .get(&Url::parse("https://example.com/loop").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NetError::TooManyRedirects { .. }));
+    }
+
+    #[test]
+    fn https_required_policy_rejects_http() {
+        let fetcher = Fetcher::with_policy(web_with_example(), FetchPolicy::strict());
+        let err = fetcher
+            .get(&Url::parse("http://example.com/").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NetError::HttpsRequired { .. }));
+    }
+
+    #[test]
+    fn get_json_parses_and_errors() {
+        let fetcher = Fetcher::new(web_with_example());
+        let json = fetcher
+            .get_json(&Url::parse("https://example.com/data.json").unwrap())
+            .unwrap();
+        assert_eq!(json["ok"], true);
+        let err = fetcher
+            .get_json(&Url::parse("https://example.com/missing.json").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NetError::NotFound { .. }));
+    }
+
+    #[test]
+    fn head_has_empty_body_but_headers() {
+        let fetcher = Fetcher::new(web_with_example());
+        let resp = fetcher
+            .head(&Url::parse("https://example.com/").unwrap())
+            .unwrap();
+        assert!(resp.status.is_success());
+        assert!(resp.body.is_empty());
+        assert!(resp.headers.contains("content-type"));
+    }
+
+    #[test]
+    fn error_pages_return_their_status() {
+        let fetcher = Fetcher::new(web_with_example());
+        let resp = fetcher
+            .get(&Url::parse("https://example.com/gone").unwrap())
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::GONE);
+        assert_eq!(resp.body_text(), "gone");
+    }
+
+    #[test]
+    fn offline_host_refuses_connection() {
+        let mut web = web_with_example();
+        web.update_host(&rws_domain::DomainName::parse("example.com").unwrap(), |h| {
+            h.set_offline(true);
+        });
+        let fetcher = Fetcher::new(web);
+        let err = fetcher
+            .get(&Url::parse("https://example.com/").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NetError::ConnectionRefused { .. }));
+    }
+
+    #[test]
+    fn timeout_when_latency_exceeds_deadline() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("slow.com").unwrap();
+        host.add_page("/", "x");
+        host.set_latency(crate::web::LatencyModel {
+            base_ms: 50_000,
+            per_kb_ms: 0,
+        });
+        web.register(host);
+        let fetcher = Fetcher::new(web);
+        let err = fetcher
+            .get(&Url::parse("https://slow.com/").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }));
+    }
+}

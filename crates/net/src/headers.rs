@@ -1,0 +1,152 @@
+//! A case-insensitive HTTP header map.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A case-insensitive, order-stable map of HTTP headers.
+///
+/// Header names are normalised to lowercase on insertion (HTTP/2 style);
+/// values are stored verbatim. Multiple values for the same name are joined
+/// with `", "` as permitted by RFC 9110 for list-valued fields — sufficient
+/// for the headers the study inspects (`Content-Type`, `X-Robots-Tag`,
+/// `Location`, `Set-Cookie` is handled by the browser crate separately).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: BTreeMap<String, String>,
+}
+
+impl HeaderMap {
+    /// Create an empty header map.
+    pub fn new() -> HeaderMap {
+        HeaderMap::default()
+    }
+
+    /// Insert a header, replacing any existing value for the same
+    /// (case-insensitive) name.
+    pub fn set<N: AsRef<str>, V: Into<String>>(&mut self, name: N, value: V) -> &mut Self {
+        self.entries
+            .insert(name.as_ref().to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Append a value: if the header exists, the new value is joined with
+    /// `", "`; otherwise it is inserted.
+    pub fn append<N: AsRef<str>, V: AsRef<str>>(&mut self, name: N, value: V) -> &mut Self {
+        let key = name.as_ref().to_ascii_lowercase();
+        match self.entries.get_mut(&key) {
+            Some(existing) => {
+                existing.push_str(", ");
+                existing.push_str(value.as_ref());
+            }
+            None => {
+                self.entries.insert(key, value.as_ref().to_string());
+            }
+        }
+        self
+    }
+
+    /// Get a header value by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// True if the header is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// True if the header is present and any comma-separated element equals
+    /// `token` (ASCII case-insensitive) — e.g.
+    /// `has_token("x-robots-tag", "noindex")`.
+    pub fn has_token(&self, name: &str, token: &str) -> bool {
+        self.get(name)
+            .map(|v| {
+                v.split(',')
+                    .any(|part| part.trim().eq_ignore_ascii_case(token))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Remove a header, returning its value if present.
+    pub fn remove(&mut self, name: &str) -> Option<String> {
+        self.entries.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Number of distinct header names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no headers are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_are_case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.set("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("accept"));
+    }
+
+    #[test]
+    fn set_replaces_existing_value() {
+        let mut h = HeaderMap::new();
+        h.set("X-Robots-Tag", "noindex");
+        h.set("x-robots-tag", "none");
+        assert_eq!(h.get("x-robots-tag"), Some("none"));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn append_joins_values() {
+        let mut h = HeaderMap::new();
+        h.append("X-Robots-Tag", "noindex");
+        h.append("X-Robots-Tag", "nofollow");
+        assert_eq!(h.get("x-robots-tag"), Some("noindex, nofollow"));
+    }
+
+    #[test]
+    fn has_token_matches_list_elements() {
+        let mut h = HeaderMap::new();
+        h.set("X-Robots-Tag", "noindex, nofollow");
+        assert!(h.has_token("x-robots-tag", "noindex"));
+        assert!(h.has_token("x-robots-tag", "NOFOLLOW"));
+        assert!(!h.has_token("x-robots-tag", "noarchive"));
+        assert!(!h.has_token("missing", "noindex"));
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut h = HeaderMap::new();
+        assert!(h.is_empty());
+        h.set("Location", "/elsewhere");
+        assert_eq!(h.remove("location"), Some("/elsewhere".to_string()));
+        assert!(h.is_empty());
+        assert_eq!(h.remove("location"), None);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut h = HeaderMap::new();
+        h.set("b-header", "2");
+        h.set("a-header", "1");
+        let names: Vec<&str> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a-header", "b-header"]);
+    }
+}

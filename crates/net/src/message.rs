@@ -1,0 +1,204 @@
+//! HTTP request/response messages and status codes.
+
+use crate::headers::HeaderMap;
+use crate::url::Url;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// HTTP request method. Only the methods the study's tooling issues are
+/// modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// GET — page fetches, `.well-known` fetches.
+    Get,
+    /// HEAD — liveness and header-only checks (e.g. `X-Robots-Tag`).
+    Head,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+        })
+    }
+}
+
+/// An HTTP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 301 Moved Permanently.
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// 302 Found.
+    pub const FOUND: StatusCode = StatusCode(302);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 410 Gone.
+    pub const GONE: StatusCode = StatusCode(410);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// 3xx.
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// 4xx.
+    pub fn is_client_error(self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// 5xx.
+    pub fn is_server_error(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Target URL.
+    pub url: Url,
+    /// Request headers.
+    pub headers: HeaderMap,
+}
+
+impl Request {
+    /// Build a GET request for a URL.
+    pub fn get(url: Url) -> Request {
+        Request {
+            method: Method::Get,
+            url,
+            headers: HeaderMap::new(),
+        }
+    }
+
+    /// Build a HEAD request for a URL.
+    pub fn head(url: Url) -> Request {
+        Request {
+            method: Method::Head,
+            url,
+            headers: HeaderMap::new(),
+        }
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The URL that ultimately produced this response (after redirects).
+    pub url: Url,
+    /// Status code.
+    pub status: StatusCode,
+    /// Response headers.
+    pub headers: HeaderMap,
+    /// Response body bytes (empty for HEAD responses).
+    pub body: Bytes,
+    /// Simulated total latency for producing this response, in milliseconds.
+    pub latency_ms: u64,
+    /// Number of redirects followed to reach this response.
+    pub redirects_followed: usize,
+}
+
+impl Response {
+    /// The body decoded as UTF-8 (lossily).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Parse the body as JSON.
+    pub fn body_json(&self) -> Result<serde_json::Value, crate::error::NetError> {
+        serde_json::from_slice(&self.body).map_err(|e| crate::error::NetError::InvalidJson {
+            url: self.url.to_string(),
+            reason: e.to_string(),
+        })
+    }
+
+    /// The `Content-Type` header, if any.
+    pub fn content_type(&self) -> Option<&str> {
+        self.headers.get("content-type")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_code_classes() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode(204).is_success());
+        assert!(StatusCode::MOVED_PERMANENTLY.is_redirect());
+        assert!(StatusCode::FOUND.is_redirect());
+        assert!(StatusCode::NOT_FOUND.is_client_error());
+        assert!(StatusCode::GONE.is_client_error());
+        assert!(StatusCode::INTERNAL_SERVER_ERROR.is_server_error());
+        assert!(!StatusCode::OK.is_redirect());
+        assert_eq!(StatusCode::OK.to_string(), "200");
+    }
+
+    #[test]
+    fn request_constructors() {
+        let url = Url::parse("https://example.com/x").unwrap();
+        let get = Request::get(url.clone());
+        assert_eq!(get.method, Method::Get);
+        assert_eq!(get.method.to_string(), "GET");
+        let head = Request::head(url);
+        assert_eq!(head.method, Method::Head);
+        assert_eq!(head.method.to_string(), "HEAD");
+    }
+
+    #[test]
+    fn response_body_helpers() {
+        let url = Url::parse("https://example.com/data.json").unwrap();
+        let mut headers = HeaderMap::new();
+        headers.set("Content-Type", "application/json");
+        let resp = Response {
+            url,
+            status: StatusCode::OK,
+            headers,
+            body: Bytes::from_static(b"{\"primary\": \"example.com\"}"),
+            latency_ms: 12,
+            redirects_followed: 0,
+        };
+        assert_eq!(resp.content_type(), Some("application/json"));
+        assert!(resp.body_text().contains("primary"));
+        let json = resp.body_json().unwrap();
+        assert_eq!(json["primary"], "example.com");
+    }
+
+    #[test]
+    fn response_body_json_error_carries_url() {
+        let url = Url::parse("https://example.com/broken.json").unwrap();
+        let resp = Response {
+            url,
+            status: StatusCode::OK,
+            headers: HeaderMap::new(),
+            body: Bytes::from_static(b"not json"),
+            latency_ms: 0,
+            redirects_followed: 0,
+        };
+        let err = resp.body_json().unwrap_err();
+        assert!(err.to_string().contains("broken.json"));
+    }
+}

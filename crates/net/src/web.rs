@@ -1,0 +1,437 @@
+//! The simulated Web: a registry of hosts, their pages and their behaviour.
+//!
+//! [`SimulatedWeb`] is the offline stand-in for the live Web the paper's
+//! tooling crawls. Each registered [`SiteHost`] owns a set of paths mapping
+//! to [`PageContent`] (HTML pages, JSON documents, redirects, or error
+//! statuses), a per-host latency model, optional outage and HTTP-only
+//! flags, and per-path extra headers (e.g. `X-Robots-Tag: noindex` on
+//! service sites).
+
+use crate::headers::HeaderMap;
+use crate::message::StatusCode;
+use crate::url::Url;
+use parking_lot::RwLock;
+use rws_domain::DomainName;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a host serves at a particular path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PageContent {
+    /// An HTML page served with `Content-Type: text/html`.
+    Html(String),
+    /// A JSON document served with `Content-Type: application/json`.
+    Json(String),
+    /// Plain text.
+    Text(String),
+    /// A redirect to another URL or absolute path.
+    Redirect {
+        /// Redirect target (absolute URL or absolute path).
+        location: String,
+        /// Whether to use 301 (permanent) or 302 (found).
+        permanent: bool,
+    },
+    /// A fixed non-success status with an optional body.
+    Error {
+        /// The status code to return.
+        status: StatusCode,
+        /// Body text served with the error.
+        body: String,
+    },
+}
+
+/// Deterministic latency model for a host.
+///
+/// Latency is *simulated*: it is reported on the [`Response`] rather than
+/// slept, so experiments remain fast and reproducible. The model is a base
+/// cost plus a per-kilobyte transfer cost, which is enough to drive the
+/// fetch-budget ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-request cost in milliseconds (connection + TTFB).
+    pub base_ms: u64,
+    /// Additional cost per kilobyte of body, in milliseconds.
+    pub per_kb_ms: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_ms: 40,
+            per_kb_ms: 2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency for a response body of `body_len` bytes.
+    pub fn latency_for(&self, body_len: usize) -> u64 {
+        self.base_ms + self.per_kb_ms * (body_len as u64 / 1024)
+    }
+}
+
+/// A single host in the simulated web.
+#[derive(Debug, Clone)]
+pub struct SiteHost {
+    host: DomainName,
+    pages: HashMap<String, PageContent>,
+    page_headers: HashMap<String, HeaderMap>,
+    latency: LatencyModel,
+    /// If true, connections are refused (simulated outage).
+    offline: bool,
+    /// If true, the host only serves plain HTTP (https URLs get redirected
+    /// down to http, which the RWS validation rejects).
+    http_only: bool,
+}
+
+impl SiteHost {
+    /// Create a host for the given domain name string.
+    pub fn new(host: &str) -> Result<SiteHost, rws_domain::DomainError> {
+        Ok(SiteHost {
+            host: DomainName::parse(host)?,
+            pages: HashMap::new(),
+            page_headers: HashMap::new(),
+            latency: LatencyModel::default(),
+            offline: false,
+            http_only: false,
+        })
+    }
+
+    /// Create a host from an already-validated domain name.
+    pub fn for_domain(host: DomainName) -> SiteHost {
+        SiteHost {
+            host,
+            pages: HashMap::new(),
+            page_headers: HashMap::new(),
+            latency: LatencyModel::default(),
+            offline: false,
+            http_only: false,
+        }
+    }
+
+    /// The host's domain name.
+    pub fn domain(&self) -> &DomainName {
+        &self.host
+    }
+
+    /// Serve an HTML page at `path`.
+    pub fn add_page<S: Into<String>>(&mut self, path: &str, html: S) -> &mut Self {
+        self.pages.insert(path.to_string(), PageContent::Html(html.into()));
+        self
+    }
+
+    /// Serve a JSON document at `path`.
+    pub fn add_json<S: Into<String>>(&mut self, path: &str, json: S) -> &mut Self {
+        self.pages.insert(path.to_string(), PageContent::Json(json.into()));
+        self
+    }
+
+    /// Serve arbitrary content at `path`.
+    pub fn add_content(&mut self, path: &str, content: PageContent) -> &mut Self {
+        self.pages.insert(path.to_string(), content);
+        self
+    }
+
+    /// Add an extra response header for a specific path (e.g. the
+    /// `X-Robots-Tag` header required on service sites).
+    pub fn add_header(&mut self, path: &str, name: &str, value: &str) -> &mut Self {
+        self.page_headers
+            .entry(path.to_string())
+            .or_default()
+            .set(name, value);
+        self
+    }
+
+    /// Replace the latency model.
+    pub fn set_latency(&mut self, latency: LatencyModel) -> &mut Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Mark the host as offline (connections refused).
+    pub fn set_offline(&mut self, offline: bool) -> &mut Self {
+        self.offline = offline;
+        self
+    }
+
+    /// Mark the host as HTTP-only (no TLS).
+    pub fn set_http_only(&mut self, http_only: bool) -> &mut Self {
+        self.http_only = http_only;
+        self
+    }
+
+    /// Whether the host is currently offline.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// Whether the host serves only plain HTTP.
+    pub fn is_http_only(&self) -> bool {
+        self.http_only
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Content registered at `path`, if any.
+    pub fn page(&self, path: &str) -> Option<&PageContent> {
+        self.pages.get(path)
+    }
+
+    /// Extra headers registered for `path`.
+    pub fn headers_for(&self, path: &str) -> Option<&HeaderMap> {
+        self.page_headers.get(path)
+    }
+
+    /// All registered paths, sorted.
+    pub fn paths(&self) -> Vec<&str> {
+        let mut p: Vec<&str> = self.pages.keys().map(String::as_str).collect();
+        p.sort_unstable();
+        p
+    }
+}
+
+/// The registry of every host in the simulated web.
+///
+/// Cloning a `SimulatedWeb` is cheap (it is an `Arc` around shared state),
+/// so the same web can be handed to the fetcher, the validation bot and the
+/// browser engine simultaneously.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedWeb {
+    inner: Arc<RwLock<HashMap<DomainName, SiteHost>>>,
+}
+
+impl SimulatedWeb {
+    /// Create an empty web.
+    pub fn new() -> SimulatedWeb {
+        SimulatedWeb::default()
+    }
+
+    /// Register (or replace) a host.
+    pub fn register(&mut self, host: SiteHost) {
+        self.inner.write().insert(host.domain().clone(), host);
+    }
+
+    /// True if a host with this name exists.
+    pub fn has_host(&self, host: &DomainName) -> bool {
+        self.inner.read().contains_key(host)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// All registered host names, sorted.
+    pub fn hosts(&self) -> Vec<DomainName> {
+        let mut hosts: Vec<DomainName> = self.inner.read().keys().cloned().collect();
+        hosts.sort();
+        hosts
+    }
+
+    /// Run a closure against a host's definition, if it exists.
+    pub fn with_host<T>(&self, host: &DomainName, f: impl FnOnce(&SiteHost) -> T) -> Option<T> {
+        self.inner.read().get(host).map(f)
+    }
+
+    /// Mutate a host's definition in place (e.g. take it offline mid-run).
+    pub fn update_host(
+        &mut self,
+        host: &DomainName,
+        f: impl FnOnce(&mut SiteHost),
+    ) -> bool {
+        match self.inner.write().get_mut(host) {
+            Some(h) => {
+                f(h);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resolve what a host would serve for a URL, without going through the
+    /// fetcher's policy layer. This is the "server side" of the simulation.
+    pub fn serve(&self, url: &Url) -> ServedPage {
+        let guard = self.inner.read();
+        let Some(host) = guard.get(&url.host) else {
+            return ServedPage::NoSuchHost;
+        };
+        if host.is_offline() {
+            return ServedPage::Refused;
+        }
+        if url.is_https() && host.is_http_only() {
+            return ServedPage::TlsUnavailable;
+        }
+        let extra_headers = host.headers_for(&url.path).cloned().unwrap_or_default();
+        match host.page(&url.path) {
+            Some(content) => ServedPage::Content {
+                content: content.clone(),
+                extra_headers,
+                latency: host.latency(),
+            },
+            None => ServedPage::Missing {
+                latency: host.latency(),
+            },
+        }
+    }
+}
+
+/// The raw outcome of asking the simulated web to serve a URL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServedPage {
+    /// No host by that name is registered (DNS failure analogue).
+    NoSuchHost,
+    /// The host is offline.
+    Refused,
+    /// The host exists but does not speak TLS, and an https URL was used.
+    TlsUnavailable,
+    /// The path is not registered on the host → 404.
+    Missing {
+        /// Host latency model, used to price the 404.
+        latency: LatencyModel,
+    },
+    /// The path resolved to content.
+    Content {
+        /// What to serve.
+        content: PageContent,
+        /// Extra per-path headers.
+        extra_headers: HeaderMap,
+        /// Host latency model.
+        latency: LatencyModel,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup_hosts() {
+        let mut web = SimulatedWeb::new();
+        assert_eq!(web.host_count(), 0);
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "<html></html>");
+        web.register(host);
+        assert!(web.has_host(&dn("example.com")));
+        assert!(!web.has_host(&dn("other.com")));
+        assert_eq!(web.host_count(), 1);
+        assert_eq!(web.hosts(), vec![dn("example.com")]);
+    }
+
+    #[test]
+    fn serve_content_and_missing() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "<html>home</html>");
+        host.add_json("/.well-known/related-website-set.json", "{}");
+        web.register(host);
+
+        match web.serve(&Url::parse("https://example.com/").unwrap()) {
+            ServedPage::Content { content, .. } => {
+                assert_eq!(content, PageContent::Html("<html>home</html>".into()));
+            }
+            other => panic!("expected content, got {other:?}"),
+        }
+        assert!(matches!(
+            web.serve(&Url::parse("https://example.com/missing").unwrap()),
+            ServedPage::Missing { .. }
+        ));
+        assert_eq!(
+            web.serve(&Url::parse("https://unknown.com/").unwrap()),
+            ServedPage::NoSuchHost
+        );
+    }
+
+    #[test]
+    fn serve_respects_offline_and_http_only() {
+        let mut web = SimulatedWeb::new();
+        let mut down = SiteHost::new("down.com").unwrap();
+        down.add_page("/", "x").set_offline(true);
+        web.register(down);
+        let mut insecure = SiteHost::new("insecure.com").unwrap();
+        insecure.add_page("/", "x").set_http_only(true);
+        web.register(insecure);
+
+        assert_eq!(
+            web.serve(&Url::parse("https://down.com/").unwrap()),
+            ServedPage::Refused
+        );
+        assert_eq!(
+            web.serve(&Url::parse("https://insecure.com/").unwrap()),
+            ServedPage::TlsUnavailable
+        );
+        // Plain http to the http-only host still works.
+        assert!(matches!(
+            web.serve(&Url::parse("http://insecure.com/").unwrap()),
+            ServedPage::Content { .. }
+        ));
+    }
+
+    #[test]
+    fn per_path_headers_are_served() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("svc.example.com").unwrap();
+        host.add_page("/", "service");
+        host.add_header("/", "X-Robots-Tag", "noindex");
+        web.register(host);
+        match web.serve(&Url::parse("https://svc.example.com/").unwrap()) {
+            ServedPage::Content { extra_headers, .. } => {
+                assert!(extra_headers.has_token("x-robots-tag", "noindex"));
+            }
+            other => panic!("expected content, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_host_mutates_in_place() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "x");
+        web.register(host);
+        assert!(web.update_host(&dn("example.com"), |h| {
+            h.set_offline(true);
+        }));
+        assert_eq!(
+            web.serve(&Url::parse("https://example.com/").unwrap()),
+            ServedPage::Refused
+        );
+        assert!(!web.update_host(&dn("missing.com"), |_| {}));
+    }
+
+    #[test]
+    fn cloned_web_shares_state() {
+        let mut web = SimulatedWeb::new();
+        let clone = web.clone();
+        let mut host = SiteHost::new("shared.com").unwrap();
+        host.add_page("/", "x");
+        web.register(host);
+        assert!(clone.has_host(&dn("shared.com")));
+    }
+
+    #[test]
+    fn latency_model_prices_body_size() {
+        let m = LatencyModel {
+            base_ms: 10,
+            per_kb_ms: 5,
+        };
+        assert_eq!(m.latency_for(0), 10);
+        assert_eq!(m.latency_for(2048), 20);
+        let d = LatencyModel::default();
+        assert!(d.latency_for(0) > 0);
+    }
+
+    #[test]
+    fn site_host_paths_sorted() {
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/b", "x").add_page("/a", "y");
+        assert_eq!(host.paths(), vec!["/a", "/b"]);
+        assert!(host.page("/a").is_some());
+        assert!(host.page("/missing").is_none());
+    }
+}

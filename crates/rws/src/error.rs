@@ -1,0 +1,77 @@
+//! Errors raised while constructing or parsing Related Website Sets.
+
+use std::fmt;
+
+/// Errors from building an [`RwsSet`](crate::RwsSet) or
+/// [`RwsList`](crate::RwsList), or from parsing the canonical JSON format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetError {
+    /// A member string was not an acceptable `https://` origin.
+    InvalidOrigin {
+        /// The offending input.
+        input: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The same domain appears twice within one set.
+    DuplicateMember {
+        /// The duplicated domain.
+        domain: String,
+    },
+    /// The same domain appears in more than one set of a list.
+    MemberInMultipleSets {
+        /// The conflicting domain.
+        domain: String,
+    },
+    /// A ccTLD variant was declared for a domain that is not in the set.
+    UnknownCctldBase {
+        /// The base domain the variants were attached to.
+        base: String,
+    },
+    /// The JSON document did not have the expected structure.
+    MalformedJson {
+        /// Parser/structural error description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetError::InvalidOrigin { input, reason } => {
+                write!(f, "'{input}' is not a valid https origin: {reason}")
+            }
+            SetError::DuplicateMember { domain } => {
+                write!(f, "domain '{domain}' appears more than once in the set")
+            }
+            SetError::MemberInMultipleSets { domain } => {
+                write!(f, "domain '{domain}' appears in more than one set")
+            }
+            SetError::UnknownCctldBase { base } => {
+                write!(f, "ccTLD variants declared for '{base}', which is not a set member")
+            }
+            SetError::MalformedJson { reason } => {
+                write!(f, "malformed Related Website Sets JSON: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SetError::DuplicateMember {
+            domain: "example.com".into(),
+        };
+        assert!(e.to_string().contains("example.com"));
+        let e = SetError::MalformedJson {
+            reason: "missing 'sets'".into(),
+        };
+        assert!(e.to_string().contains("missing"));
+    }
+}

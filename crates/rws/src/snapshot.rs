@@ -1,0 +1,252 @@
+//! Dated snapshots of the RWS list and composition-over-time series.
+//!
+//! Section 4 of the paper characterises the list as of 26 March 2024 (41
+//! sets; 22% with service sites, 14.6% with ccTLD sites, 92.7% with
+//! associated sites; mean 2.6 associated sites per set) and plots the
+//! per-subset site counts by month in Figure 7. A [`SnapshotSeries`] is the
+//! data structure those analyses run over.
+
+use crate::list::RwsList;
+use crate::set::MemberRole;
+use rws_stats::timeseries::{Date, Month, MonthlySeries};
+use serde::{Deserialize, Serialize};
+
+/// Counts of sites by subset type in one list snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubsetCounts {
+    /// Number of set primaries (== number of sets).
+    pub primaries: usize,
+    /// Number of associated sites.
+    pub associated: usize,
+    /// Number of service sites.
+    pub service: usize,
+    /// Number of ccTLD variant sites.
+    pub cctld: usize,
+}
+
+impl SubsetCounts {
+    /// Total sites across all subsets (including primaries).
+    pub fn total(&self) -> usize {
+        self.primaries + self.associated + self.service + self.cctld
+    }
+}
+
+/// The RWS list as it stood on a particular date.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListSnapshot {
+    /// The date of the snapshot.
+    pub date: Date,
+    /// The list contents at that date.
+    pub list: RwsList,
+}
+
+impl ListSnapshot {
+    /// Create a snapshot.
+    pub fn new(date: Date, list: RwsList) -> ListSnapshot {
+        ListSnapshot { date, list }
+    }
+
+    /// Per-subset site counts for this snapshot (the bars of Figure 7).
+    pub fn subset_counts(&self) -> SubsetCounts {
+        let mut counts = SubsetCounts::default();
+        for set in self.list.sets() {
+            counts.primaries += 1;
+            counts.associated += set.associated_count();
+            counts.service += set.service_count();
+            counts.cctld += set.cctld_count();
+        }
+        counts
+    }
+
+    /// Fraction of sets that contain at least one member with the given
+    /// role (the "92.7% of sets include one or more associated sites"
+    /// statistic). Returns 0 for an empty list.
+    pub fn fraction_of_sets_with(&self, role: MemberRole) -> f64 {
+        let total = self.list.set_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let with = self
+            .list
+            .sets()
+            .filter(|set| match role {
+                MemberRole::Primary => true,
+                MemberRole::Associated => set.associated_count() > 0,
+                MemberRole::Service => set.service_count() > 0,
+                MemberRole::Cctld => set.cctld_count() > 0,
+            })
+            .count();
+        with as f64 / total as f64
+    }
+
+    /// Mean number of associated sites per set (the "mean of 2.6" figure).
+    pub fn mean_associated_per_set(&self) -> f64 {
+        let total = self.list.set_count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.subset_counts().associated as f64 / total as f64
+    }
+}
+
+/// A chronological series of list snapshots (e.g. one per month from 2023-01
+/// to 2024-03, as the paper's governance figures use).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotSeries {
+    snapshots: Vec<ListSnapshot>,
+}
+
+impl SnapshotSeries {
+    /// Create an empty series.
+    pub fn new() -> SnapshotSeries {
+        SnapshotSeries::default()
+    }
+
+    /// Append a snapshot, keeping the series sorted by date.
+    pub fn push(&mut self, snapshot: ListSnapshot) {
+        self.snapshots.push(snapshot);
+        self.snapshots.sort_by_key(|s| s.date);
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if the series has no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Iterate snapshots in date order.
+    pub fn iter(&self) -> impl Iterator<Item = &ListSnapshot> {
+        self.snapshots.iter()
+    }
+
+    /// The latest snapshot, if any.
+    pub fn latest(&self) -> Option<&ListSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// The snapshot in force at (the last one on or before) `date`.
+    pub fn at(&self, date: Date) -> Option<&ListSnapshot> {
+        self.snapshots.iter().rev().find(|s| s.date <= date)
+    }
+
+    /// Build the per-month, per-subset count series behind Figure 7. The
+    /// value for a month is taken from the last snapshot within that month
+    /// (or the most recent one before it).
+    pub fn composition_by_month(&self, start: Month, end: Month) -> CompositionSeries {
+        let mut service = MonthlySeries::zeros(start, end);
+        let mut associated = MonthlySeries::zeros(start, end);
+        let mut cctld = MonthlySeries::zeros(start, end);
+        let mut primaries = MonthlySeries::zeros(start, end);
+        for month in start.range_inclusive(end) {
+            let last_day = Date::new(month.year, month.month, month.days_in_month());
+            if let Some(snapshot) = self.at(last_day) {
+                let counts = snapshot.subset_counts();
+                service.set(month, counts.service as f64);
+                associated.set(month, counts.associated as f64);
+                cctld.set(month, counts.cctld as f64);
+                primaries.set(month, counts.primaries as f64);
+            }
+        }
+        CompositionSeries {
+            service,
+            associated,
+            cctld,
+            primaries,
+        }
+    }
+}
+
+/// Monthly per-subset counts — the three series plotted in Figure 7 (plus
+/// primaries, which the paper reports in the text).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositionSeries {
+    /// Service-site count per month.
+    pub service: MonthlySeries,
+    /// Associated-site count per month.
+    pub associated: MonthlySeries,
+    /// ccTLD-site count per month.
+    pub cctld: MonthlySeries,
+    /// Set-primary count per month.
+    pub primaries: MonthlySeries,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::RwsSet;
+
+    fn list_with(n_sets: usize, assoc_per_set: usize, with_service: bool) -> RwsList {
+        let mut sets = Vec::new();
+        for i in 0..n_sets {
+            let mut set = RwsSet::new(&format!("https://primary{i}.com")).unwrap();
+            for j in 0..assoc_per_set {
+                set.add_associated(&format!("https://assoc{i}x{j}.com"), "affiliated brand")
+                    .unwrap();
+            }
+            if with_service {
+                set.add_service(&format!("https://service{i}.com"), "cdn").unwrap();
+            }
+            sets.push(set);
+        }
+        RwsList::from_sets(sets).unwrap()
+    }
+
+    #[test]
+    fn subset_counts_and_fractions() {
+        let snapshot = ListSnapshot::new(Date::new(2024, 3, 26), list_with(4, 2, true));
+        let counts = snapshot.subset_counts();
+        assert_eq!(counts.primaries, 4);
+        assert_eq!(counts.associated, 8);
+        assert_eq!(counts.service, 4);
+        assert_eq!(counts.cctld, 0);
+        assert_eq!(counts.total(), 16);
+        assert_eq!(snapshot.fraction_of_sets_with(MemberRole::Associated), 1.0);
+        assert_eq!(snapshot.fraction_of_sets_with(MemberRole::Service), 1.0);
+        assert_eq!(snapshot.fraction_of_sets_with(MemberRole::Cctld), 0.0);
+        assert_eq!(snapshot.mean_associated_per_set(), 2.0);
+    }
+
+    #[test]
+    fn empty_snapshot_fractions_are_zero() {
+        let snapshot = ListSnapshot::new(Date::new(2024, 1, 1), RwsList::new());
+        assert_eq!(snapshot.fraction_of_sets_with(MemberRole::Associated), 0.0);
+        assert_eq!(snapshot.mean_associated_per_set(), 0.0);
+        assert_eq!(snapshot.subset_counts().total(), 0);
+    }
+
+    #[test]
+    fn series_is_sorted_and_queryable() {
+        let mut series = SnapshotSeries::new();
+        series.push(ListSnapshot::new(Date::new(2024, 1, 15), list_with(3, 1, false)));
+        series.push(ListSnapshot::new(Date::new(2023, 6, 1), list_with(1, 1, false)));
+        series.push(ListSnapshot::new(Date::new(2023, 10, 1), list_with(2, 1, false)));
+        assert_eq!(series.len(), 3);
+        let dates: Vec<Date> = series.iter().map(|s| s.date).collect();
+        assert!(dates.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(series.latest().unwrap().list.set_count(), 3);
+        assert_eq!(series.at(Date::new(2023, 8, 1)).unwrap().list.set_count(), 1);
+        assert_eq!(series.at(Date::new(2023, 12, 1)).unwrap().list.set_count(), 2);
+        assert!(series.at(Date::new(2023, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn composition_by_month_steps_up() {
+        let mut series = SnapshotSeries::new();
+        series.push(ListSnapshot::new(Date::new(2023, 2, 10), list_with(1, 2, false)));
+        series.push(ListSnapshot::new(Date::new(2023, 4, 10), list_with(3, 2, true)));
+        let comp = series.composition_by_month(Month::new(2023, 1), Month::new(2023, 5));
+        // January: no snapshot yet → zero.
+        assert_eq!(comp.associated.get(Month::new(2023, 1)), Some(0.0));
+        // February through March: first snapshot (1 set × 2 associated).
+        assert_eq!(comp.associated.get(Month::new(2023, 2)), Some(2.0));
+        assert_eq!(comp.associated.get(Month::new(2023, 3)), Some(2.0));
+        // April onward: second snapshot (3 sets × 2 associated, 3 service).
+        assert_eq!(comp.associated.get(Month::new(2023, 4)), Some(6.0));
+        assert_eq!(comp.service.get(Month::new(2023, 5)), Some(3.0));
+        assert_eq!(comp.primaries.get(Month::new(2023, 5)), Some(3.0));
+    }
+}

@@ -1,0 +1,517 @@
+//! Set-level technical validation — the automated checks behind Table 3.
+//!
+//! When a set is proposed on GitHub, a bot runs a series of technical checks
+//! and reports failures as pull-request comments. Table 3 of the paper
+//! counts the observed messages:
+//!
+//! | message | count |
+//! |---|---|
+//! | Unable to fetch .well-known JSON file | 202 |
+//! | Associated site isn't an eTLD+1 | 65 |
+//! | Service site without X-Robots-Tag header | 19 |
+//! | PR set does not match .well-known JSON file | 12 |
+//! | Alias site isn't an eTLD+1 | 10 |
+//! | Primary site isn't an eTLD+1 | 9 |
+//! | Other | 8 |
+//! | No rationale for one or more set members | 5 |
+//!
+//! [`SetValidator`] reproduces those checks against the simulated web: it
+//! verifies eTLD+1 status of every member, HTTPS reachability, the
+//! `.well-known` file on every member, its consistency with the submission,
+//! the `X-Robots-Tag` header on service sites, and rationale presence.
+
+use crate::set::RwsSet;
+use crate::well_known::WellKnownFile;
+use rws_domain::{DomainName, PublicSuffixList};
+use rws_net::{well_known_path, FetchPolicy, Fetcher, SimulatedWeb, Url};
+use serde::{Deserialize, Serialize};
+
+/// One validation failure, tagged with the member it concerns.
+///
+/// The variants map one-to-one onto the GitHub bot's message classes in
+/// Table 3 (plus `Other`, which the bot uses for everything else).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationIssue {
+    /// The member's `/.well-known/related-website-set.json` could not be
+    /// fetched (DNS failure, connection refused, non-200, or invalid JSON).
+    WellKnownUnfetchable {
+        /// The member whose file failed to fetch.
+        site: DomainName,
+        /// A human-readable description of the failure.
+        detail: String,
+    },
+    /// An associated site is not an eTLD+1.
+    AssociatedSiteNotEtldPlusOne {
+        /// The offending associated site.
+        site: DomainName,
+    },
+    /// A service site does not serve an `X-Robots-Tag` header.
+    ServiceSiteWithoutRobotsTag {
+        /// The offending service site.
+        site: DomainName,
+    },
+    /// The member's well-known file does not match the submitted set.
+    WellKnownMismatch {
+        /// The member whose file disagrees with the submission.
+        site: DomainName,
+    },
+    /// A ccTLD ("alias") site is not an eTLD+1.
+    AliasSiteNotEtldPlusOne {
+        /// The offending ccTLD variant.
+        site: DomainName,
+    },
+    /// The primary is not an eTLD+1.
+    PrimarySiteNotEtldPlusOne {
+        /// The primary in question.
+        site: DomainName,
+    },
+    /// A member is missing a rationale.
+    MissingRationale {
+        /// The member missing its rationale.
+        site: DomainName,
+    },
+    /// Anything else (non-HTTPS members, unreachable pages, …), matching
+    /// the bot's residual "Other" bucket.
+    Other {
+        /// The member concerned.
+        site: DomainName,
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl ValidationIssue {
+    /// The exact bot-comment label used in Table 3 of the paper.
+    pub fn bot_message(&self) -> &'static str {
+        match self {
+            ValidationIssue::WellKnownUnfetchable { .. } => {
+                "Unable to fetch .well-known JSON file"
+            }
+            ValidationIssue::AssociatedSiteNotEtldPlusOne { .. } => {
+                "Associated site isn't an eTLD+1"
+            }
+            ValidationIssue::ServiceSiteWithoutRobotsTag { .. } => {
+                "Service site without X-Robots-Tag header"
+            }
+            ValidationIssue::WellKnownMismatch { .. } => {
+                "PR set does not match .well-known JSON file"
+            }
+            ValidationIssue::AliasSiteNotEtldPlusOne { .. } => "Alias site isn't an eTLD+1",
+            ValidationIssue::PrimarySiteNotEtldPlusOne { .. } => "Primary site isn't an eTLD+1",
+            ValidationIssue::MissingRationale { .. } => {
+                "No rationale for one or more set members"
+            }
+            ValidationIssue::Other { .. } => "Other",
+        }
+    }
+
+    /// The site the issue concerns.
+    pub fn site(&self) -> &DomainName {
+        match self {
+            ValidationIssue::WellKnownUnfetchable { site, .. }
+            | ValidationIssue::AssociatedSiteNotEtldPlusOne { site }
+            | ValidationIssue::ServiceSiteWithoutRobotsTag { site }
+            | ValidationIssue::WellKnownMismatch { site }
+            | ValidationIssue::AliasSiteNotEtldPlusOne { site }
+            | ValidationIssue::PrimarySiteNotEtldPlusOne { site }
+            | ValidationIssue::MissingRationale { site }
+            | ValidationIssue::Other { site, .. } => site,
+        }
+    }
+}
+
+/// The overall outcome of validating a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationOutcome {
+    /// Every check passed.
+    Passed,
+    /// At least one check failed.
+    Failed,
+}
+
+/// The full validation report for one submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// The set primary the submission proposed.
+    pub primary: DomainName,
+    /// Overall outcome.
+    pub outcome: ValidationOutcome,
+    /// Every issue found, in check order (the bot reports all of them, not
+    /// just the first).
+    pub issues: Vec<ValidationIssue>,
+    /// Number of network fetches performed during validation.
+    pub fetches: usize,
+}
+
+impl ValidationReport {
+    /// True if validation passed.
+    pub fn passed(&self) -> bool {
+        self.outcome == ValidationOutcome::Passed
+    }
+
+    /// The bot-comment labels for every issue, in order.
+    pub fn bot_messages(&self) -> Vec<&'static str> {
+        self.issues.iter().map(ValidationIssue::bot_message).collect()
+    }
+}
+
+/// Configuration for which checks run. The full set mirrors the real bot;
+/// the flags exist so ablation benches can price individual checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidatorConfig {
+    /// Check that every member is an eTLD+1.
+    pub check_etld_plus_one: bool,
+    /// Fetch and cross-check every member's well-known file.
+    pub check_well_known: bool,
+    /// Check `X-Robots-Tag` on service sites.
+    pub check_service_robots: bool,
+    /// Check that associated/service members carry rationales.
+    pub check_rationales: bool,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        ValidatorConfig {
+            check_etld_plus_one: true,
+            check_well_known: true,
+            check_service_robots: true,
+            check_rationales: true,
+        }
+    }
+}
+
+/// The automated set validator.
+pub struct SetValidator {
+    psl: PublicSuffixList,
+    fetcher: Fetcher,
+    config: ValidatorConfig,
+}
+
+impl SetValidator {
+    /// Create a validator over a simulated web with the default (full)
+    /// configuration and the strict fetch policy the real bot uses.
+    pub fn new(web: SimulatedWeb) -> SetValidator {
+        SetValidator {
+            psl: PublicSuffixList::embedded(),
+            fetcher: Fetcher::with_policy(web, FetchPolicy::strict()),
+            config: ValidatorConfig::default(),
+        }
+    }
+
+    /// Create a validator with an explicit configuration.
+    pub fn with_config(web: SimulatedWeb, config: ValidatorConfig) -> SetValidator {
+        SetValidator {
+            psl: PublicSuffixList::embedded(),
+            fetcher: Fetcher::with_policy(web, FetchPolicy::strict()),
+            config,
+        }
+    }
+
+    /// Replace the Public Suffix List used for eTLD+1 checks.
+    pub fn set_psl(&mut self, psl: PublicSuffixList) {
+        self.psl = psl;
+    }
+
+    /// Validate one submitted set, returning the full report.
+    pub fn validate(&self, set: &RwsSet) -> ValidationReport {
+        let mut issues = Vec::new();
+        let fetches_before = self.fetcher.requests_issued();
+
+        if self.config.check_etld_plus_one {
+            self.check_etld_plus_one(set, &mut issues);
+        }
+        if self.config.check_rationales {
+            self.check_rationales(set, &mut issues);
+        }
+        if self.config.check_well_known {
+            self.check_well_known(set, &mut issues);
+        }
+        if self.config.check_service_robots {
+            self.check_service_robots(set, &mut issues);
+        }
+
+        let fetches = self.fetcher.requests_issued() - fetches_before;
+        ValidationReport {
+            primary: set.primary().clone(),
+            outcome: if issues.is_empty() {
+                ValidationOutcome::Passed
+            } else {
+                ValidationOutcome::Failed
+            },
+            issues,
+            fetches,
+        }
+    }
+
+    fn check_etld_plus_one(&self, set: &RwsSet, issues: &mut Vec<ValidationIssue>) {
+        if !self.psl.is_etld_plus_one(set.primary()) {
+            issues.push(ValidationIssue::PrimarySiteNotEtldPlusOne {
+                site: set.primary().clone(),
+            });
+        }
+        for site in set.associated_sites() {
+            if !self.psl.is_etld_plus_one(site) {
+                issues.push(ValidationIssue::AssociatedSiteNotEtldPlusOne { site: site.clone() });
+            }
+        }
+        for site in set.service_sites() {
+            if !self.psl.is_etld_plus_one(site) {
+                // The bot reports non-eTLD+1 service sites under "Other".
+                issues.push(ValidationIssue::Other {
+                    site: site.clone(),
+                    detail: "Service site isn't an eTLD+1".to_string(),
+                });
+            }
+        }
+        for site in set.cctld_sites() {
+            if !self.psl.is_etld_plus_one(site) {
+                issues.push(ValidationIssue::AliasSiteNotEtldPlusOne { site: site.clone() });
+            }
+        }
+    }
+
+    fn check_rationales(&self, set: &RwsSet, issues: &mut Vec<ValidationIssue>) {
+        let mut missing: Vec<DomainName> = Vec::new();
+        for site in set.associated_sites().chain(set.service_sites()) {
+            if set.rationale_for(site).is_none() {
+                missing.push(site.clone());
+            }
+        }
+        // The bot emits a single "No rationale for one or more set members"
+        // comment per validation run, regardless of how many members lack
+        // one — mirror that by reporting the first offender only.
+        if let Some(site) = missing.into_iter().next() {
+            issues.push(ValidationIssue::MissingRationale { site });
+        }
+    }
+
+    fn check_well_known(&self, set: &RwsSet, issues: &mut Vec<ValidationIssue>) {
+        for member in set.domains() {
+            let url = well_known_path(&member);
+            match self.fetcher.get(&url) {
+                Err(err) => issues.push(ValidationIssue::WellKnownUnfetchable {
+                    site: member.clone(),
+                    detail: err.to_string(),
+                }),
+                Ok(resp) if !resp.status.is_success() => {
+                    issues.push(ValidationIssue::WellKnownUnfetchable {
+                        site: member.clone(),
+                        detail: format!("HTTP {}", resp.status),
+                    })
+                }
+                Ok(resp) => match WellKnownFile::from_json_str(&resp.body_text()) {
+                    Err(err) => issues.push(ValidationIssue::WellKnownUnfetchable {
+                        site: member.clone(),
+                        detail: err.to_string(),
+                    }),
+                    Ok(file) => {
+                        if !file.matches_submission(set) {
+                            issues.push(ValidationIssue::WellKnownMismatch {
+                                site: member.clone(),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn check_service_robots(&self, set: &RwsSet, issues: &mut Vec<ValidationIssue>) {
+        for site in set.service_sites() {
+            let url = Url::https(site, "/");
+            match self.fetcher.head(&url) {
+                Ok(resp) if resp.headers.contains("x-robots-tag") => {}
+                Ok(_) => issues.push(ValidationIssue::ServiceSiteWithoutRobotsTag {
+                    site: site.clone(),
+                }),
+                Err(err) => issues.push(ValidationIssue::Other {
+                    site: site.clone(),
+                    detail: format!("service site unreachable: {err}"),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rws_net::SiteHost;
+
+    /// Register a member on the simulated web with a correct well-known file
+    /// and (optionally) the service-site robots header.
+    fn host_member(web: &mut SimulatedWeb, domain: &str, set: &RwsSet, robots: bool) {
+        let d = DomainName::parse(domain).unwrap();
+        let mut host = SiteHost::new(domain).unwrap();
+        host.add_page("/", format!("<html><body>{domain}</body></html>"));
+        let wk = if &d == set.primary() {
+            WellKnownFile::for_primary(set)
+        } else {
+            WellKnownFile::for_member(set.primary())
+        };
+        host.add_json(rws_net::WELL_KNOWN_RWS_PATH, wk.to_json_string());
+        if robots {
+            host.add_header("/", "X-Robots-Tag", "noindex");
+        }
+        web.register(host);
+    }
+
+    fn valid_set() -> RwsSet {
+        let mut set = RwsSet::new("https://bild.de").unwrap();
+        set.add_associated("https://autobild.de", "Automotive sister brand")
+            .unwrap();
+        set.add_service("https://bildstatic.de", "Asset CDN").unwrap();
+        set
+    }
+
+    fn web_for(set: &RwsSet) -> SimulatedWeb {
+        let mut web = SimulatedWeb::new();
+        host_member(&mut web, "bild.de", set, false);
+        host_member(&mut web, "autobild.de", set, false);
+        host_member(&mut web, "bildstatic.de", set, true);
+        web
+    }
+
+    #[test]
+    fn fully_valid_set_passes() {
+        let set = valid_set();
+        let validator = SetValidator::new(web_for(&set));
+        let report = validator.validate(&set);
+        assert!(report.passed(), "unexpected issues: {:?}", report.issues);
+        assert!(report.fetches >= 4, "one well-known per member plus service HEAD");
+    }
+
+    #[test]
+    fn missing_well_known_is_reported_per_member() {
+        let set = valid_set();
+        let mut web = web_for(&set);
+        // Remove autobild.de's well-known by re-registering without it.
+        let mut bare = SiteHost::new("autobild.de").unwrap();
+        bare.add_page("/", "<html></html>");
+        web.register(bare);
+        let report = SetValidator::new(web).validate(&set);
+        assert!(!report.passed());
+        assert_eq!(
+            report
+                .issues
+                .iter()
+                .filter(|i| matches!(i, ValidationIssue::WellKnownUnfetchable { .. }))
+                .count(),
+            1
+        );
+        assert!(report.bot_messages().contains(&"Unable to fetch .well-known JSON file"));
+    }
+
+    #[test]
+    fn unreachable_host_reported_as_unfetchable() {
+        let set = valid_set();
+        let mut web = web_for(&set);
+        web.update_host(&DomainName::parse("bildstatic.de").unwrap(), |h| {
+            h.set_offline(true);
+        });
+        let report = SetValidator::new(web).validate(&set);
+        let unfetchable: Vec<_> = report
+            .issues
+            .iter()
+            .filter(|i| matches!(i, ValidationIssue::WellKnownUnfetchable { .. }))
+            .collect();
+        assert_eq!(unfetchable.len(), 1);
+        assert_eq!(unfetchable[0].site().as_str(), "bildstatic.de");
+    }
+
+    #[test]
+    fn non_etld_plus_one_members_flagged_by_role() {
+        let mut set = RwsSet::new("https://www.primary-example.com").unwrap();
+        set.add_associated("https://sub.assoc-example.com", "r").unwrap();
+        set.add_cctld_variants(
+            "https://www.primary-example.com",
+            &["https://www.primary-example.de"],
+        )
+        .unwrap();
+        // Empty web: well-known checks will also fail, but we only assert on
+        // the eTLD+1 classes here.
+        let report = SetValidator::with_config(
+            SimulatedWeb::new(),
+            ValidatorConfig {
+                check_well_known: false,
+                check_service_robots: false,
+                ..ValidatorConfig::default()
+            },
+        )
+        .validate(&set);
+        let messages = report.bot_messages();
+        assert!(messages.contains(&"Primary site isn't an eTLD+1"));
+        assert!(messages.contains(&"Associated site isn't an eTLD+1"));
+        assert!(messages.contains(&"Alias site isn't an eTLD+1"));
+    }
+
+    #[test]
+    fn service_site_without_robots_header_flagged() {
+        let set = valid_set();
+        let mut web = SimulatedWeb::new();
+        host_member(&mut web, "bild.de", &set, false);
+        host_member(&mut web, "autobild.de", &set, false);
+        // Service site present but without the X-Robots-Tag header.
+        host_member(&mut web, "bildstatic.de", &set, false);
+        let report = SetValidator::new(web).validate(&set);
+        assert!(report
+            .bot_messages()
+            .contains(&"Service site without X-Robots-Tag header"));
+    }
+
+    #[test]
+    fn well_known_mismatch_flagged() {
+        let set = valid_set();
+        let mut web = web_for(&set);
+        // autobild.de claims a different primary.
+        let mut lying = SiteHost::new("autobild.de").unwrap();
+        lying.add_page("/", "<html></html>");
+        let other = DomainName::parse("unrelated.com").unwrap();
+        lying.add_json(
+            rws_net::WELL_KNOWN_RWS_PATH,
+            WellKnownFile::for_member(&other).to_json_string(),
+        );
+        web.register(lying);
+        let report = SetValidator::new(web).validate(&set);
+        assert!(report
+            .bot_messages()
+            .contains(&"PR set does not match .well-known JSON file"));
+    }
+
+    #[test]
+    fn missing_rationale_reported_once() {
+        let mut set = RwsSet::new("https://a-example.com").unwrap();
+        set.add_associated_without_rationale("https://b-example.com").unwrap();
+        set.add_associated_without_rationale("https://c-example.com").unwrap();
+        let report = SetValidator::with_config(
+            SimulatedWeb::new(),
+            ValidatorConfig {
+                check_well_known: false,
+                check_service_robots: false,
+                check_etld_plus_one: false,
+                check_rationales: true,
+            },
+        )
+        .validate(&set);
+        assert_eq!(report.issues.len(), 1);
+        assert_eq!(
+            report.bot_messages(),
+            vec!["No rationale for one or more set members"]
+        );
+    }
+
+    #[test]
+    fn invalid_json_well_known_is_unfetchable() {
+        let set = valid_set();
+        let mut web = web_for(&set);
+        let mut broken = SiteHost::new("bild.de").unwrap();
+        broken.add_page("/", "<html></html>");
+        broken.add_json(rws_net::WELL_KNOWN_RWS_PATH, "{not valid json");
+        web.register(broken);
+        let report = SetValidator::new(web).validate(&set);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::WellKnownUnfetchable { site, .. } if site.as_str() == "bild.de")));
+    }
+}

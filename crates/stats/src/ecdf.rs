@@ -1,0 +1,193 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper plots ECDFs in Figures 2 (response times), 3 (Levenshtein
+//! distances), 4 (HTML similarity scores) and 6 (PR processing days). The
+//! [`Ecdf`] type produced here is what the analysis layer serialises as the
+//! "series" behind each of those figures.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// The sorted sample underlying this ECDF.
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from a sample. NaN values are rejected with a panic, as
+    /// they make the distribution meaningless.
+    pub fn new(sample: &[f64]) -> Ecdf {
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF sample must not contain NaN"
+        );
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Ecdf { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the ECDF has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate `F(x)`: the fraction of observations `<= x`.
+    ///
+    /// Returns 0 for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile function) by linear interpolation.
+    /// Returns `None` for an empty ECDF.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(crate::quantile::quantile_sorted(&self.sorted, p))
+    }
+
+    /// Median of the sample.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The step points of the ECDF as `(x, F(x))` pairs, one per distinct
+    /// observation — exactly what a plotting tool would consume to draw the
+    /// figure.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let x = self.sorted[i];
+            // advance to the last duplicate of x
+            let mut j = i;
+            while j + 1 < n && self.sorted[j + 1] == x {
+                j += 1;
+            }
+            out.push((x, (j + 1) as f64 / n as f64));
+            i = j + 1;
+        }
+        out
+    }
+
+    /// Evaluate the ECDF over a uniform grid of `points` values spanning
+    /// `[lo, hi]`; useful for rendering fixed-resolution series.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "grid requires at least two points");
+        assert!(lo <= hi, "grid requires lo <= hi");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Fraction of observations strictly below `x`.
+    pub fn eval_strict(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v < x);
+        count as f64 / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ecdf_evaluates_to_zero() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(10.0), 0.0);
+        assert_eq!(e.median(), None);
+    }
+
+    #[test]
+    fn eval_basic_steps() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_handles_duplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.eval(1.0), 0.75);
+        assert_eq!(e.eval(2.0), 1.0);
+        assert_eq!(e.eval_strict(1.0), 0.0);
+        assert_eq!(e.eval_strict(2.0), 0.75);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_nondecreasing() {
+        let sample = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let e = Ecdf::new(&sample);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            let v = e.eval(x);
+            assert!(v >= prev, "ECDF not monotone at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn steps_end_at_one() {
+        let e = Ecdf::new(&[5.0, 5.0, 7.0]);
+        let steps = e.steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0], (5.0, 2.0 / 3.0));
+        assert_eq!(steps[1], (7.0, 1.0));
+    }
+
+    #[test]
+    fn grid_has_requested_resolution() {
+        let e = Ecdf::new(&[0.0, 1.0]);
+        let g = e.grid(0.0, 1.0, 11);
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0].0, 0.0);
+        assert_eq!(g[10].0, 1.0);
+        assert_eq!(g[10].1, 1.0);
+    }
+
+    #[test]
+    fn quantile_and_median() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.median(), Some(25.0));
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Quantile and percentile computation (linear interpolation, type-7 as in
+//! R's default and NumPy's `linear` method).
+
+/// Quantile of an **already sorted** sample, `p` in `[0, 1]`.
+///
+/// Uses linear interpolation between closest ranks. Panics if the slice is
+/// empty or `p` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "quantile probability must be in [0,1], got {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Quantile of an unsorted sample, `p` in `[0, 1]`. Returns `None` if empty.
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Some(quantile_sorted(&sorted, p))
+}
+
+/// Percentile of an unsorted sample, `p` in `[0, 100]`. Returns `None` if empty.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    quantile(values, p / 100.0)
+}
+
+/// Median of an unsorted sample. Returns `None` if empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn median_even_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn median_empty_is_none() {
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_and_max() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[42.0], 0.3), Some(42.0));
+    }
+
+    #[test]
+    fn percentile_matches_quantile() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 25.0), quantile(&v, 0.25));
+        assert_eq!(percentile(&v, 25.0), Some(25.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly() {
+        let v = [0.0, 10.0];
+        assert!((quantile(&v, 0.25).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.75).unwrap() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_sorted_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn quantile_sorted_out_of_range_panics() {
+        quantile_sorted(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Sampling utilities: shuffles, draws without replacement and weighted
+//! choices, all driven by the deterministic [`Rng`](crate::rng::Rng) trait.
+
+use crate::rng::Rng;
+
+/// Fisher–Yates shuffle in place.
+pub fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    if items.len() < 2 {
+        return;
+    }
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Choose one element uniformly at random. Returns `None` for an empty slice.
+pub fn choose<'a, T, R: Rng + ?Sized>(items: &'a [T], rng: &mut R) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.next_below(items.len() as u64) as usize])
+    }
+}
+
+/// Draw `k` distinct indices from `0..n` uniformly without replacement.
+///
+/// If `k >= n`, all indices are returned (shuffled). Uses a partial
+/// Fisher–Yates over the index vector, so it is O(n) in memory but exact.
+pub fn sample_indices_without_replacement<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let k = k.min(n);
+    for i in 0..k {
+        let j = i + rng.next_below((n - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Draw `k` distinct elements uniformly without replacement, cloning them.
+pub fn sample_without_replacement<T: Clone, R: Rng + ?Sized>(
+    items: &[T],
+    k: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    sample_indices_without_replacement(items.len(), k, rng)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+/// Choose an index according to non-negative weights. Returns `None` if the
+/// slice is empty or all weights are zero / non-finite.
+pub fn weighted_choice<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
+    let total: f64 = weights
+        .iter()
+        .filter(|w| w.is_finite() && **w > 0.0)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &w)| w.is_finite() && w > 0.0)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shuffle_actually_permutes() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let original: Vec<u32> = (0..50).collect();
+        let mut v = original.clone();
+        shuffle(&mut v, &mut rng);
+        assert_ne!(v, original, "a 50-element shuffle should not be the identity");
+    }
+
+    #[test]
+    fn shuffle_empty_and_single() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let mut empty: Vec<u32> = vec![];
+        shuffle(&mut empty, &mut rng);
+        assert!(empty.is_empty());
+        let mut one = vec![7];
+        shuffle(&mut one, &mut rng);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let empty: Vec<u32> = vec![];
+        assert!(choose(&empty, &mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let items = vec![10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(choose(&items, &mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct() {
+        let mut rng = Xoshiro256StarStar::new(6);
+        let items: Vec<u32> = (0..100).collect();
+        let sample = sample_without_replacement(&items, 20, &mut rng);
+        assert_eq!(sample.len(), 20);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20, "sample must not contain duplicates");
+    }
+
+    #[test]
+    fn sample_without_replacement_k_exceeds_n() {
+        let mut rng = Xoshiro256StarStar::new(7);
+        let items = vec![1, 2, 3];
+        let sample = sample_without_replacement(&items, 10, &mut rng);
+        assert_eq!(sample.len(), 3);
+    }
+
+    #[test]
+    fn sample_indices_cover_uniformly() {
+        let mut rng = Xoshiro256StarStar::new(8);
+        let mut hits = [0u32; 10];
+        for _ in 0..5000 {
+            for i in sample_indices_without_replacement(10, 3, &mut rng) {
+                hits[i] += 1;
+            }
+        }
+        // Each index should be selected roughly 1500 times (3/10 of 5000).
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((1300..1700).contains(&h), "index {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn weighted_choice_empty_or_zero() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        assert_eq!(weighted_choice(&[], &mut rng), None);
+        assert_eq!(weighted_choice(&[0.0, 0.0], &mut rng), None);
+    }
+
+    #[test]
+    fn weighted_choice_skips_zero_weights() {
+        let mut rng = Xoshiro256StarStar::new(10);
+        for _ in 0..200 {
+            let idx = weighted_choice(&[0.0, 1.0, 0.0], &mut rng).unwrap();
+            assert_eq!(idx, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_respects_proportions() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let weights = [1.0, 3.0];
+        let mut counts = [0u32; 2];
+        for _ in 0..20_000 {
+            counts[weighted_choice(&weights, &mut rng).unwrap()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio} should be near 3");
+    }
+}

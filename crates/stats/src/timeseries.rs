@@ -1,0 +1,454 @@
+//! Calendar months and monthly time series.
+//!
+//! The governance figures in the paper (Figures 5, 7, 8 and 9) bucket events
+//! and list snapshots by calendar month between 2023-01 and 2024-03. This
+//! module provides a small, dependency-free calendar-month type (plus a
+//! day-resolution date, since PR processing times in Figure 6 are measured
+//! in days) and a monthly series container.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A calendar month, e.g. `2024-03`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Month {
+    /// Calendar year (e.g. 2024).
+    pub year: i32,
+    /// Month of the year, 1–12.
+    pub month: u8,
+}
+
+impl Month {
+    /// Create a month, panicking on an out-of-range month number.
+    pub fn new(year: i32, month: u8) -> Month {
+        assert!((1..=12).contains(&month), "month must be 1..=12, got {month}");
+        Month { year, month }
+    }
+
+    /// The following month.
+    pub fn next(self) -> Month {
+        if self.month == 12 {
+            Month::new(self.year + 1, 1)
+        } else {
+            Month::new(self.year, self.month + 1)
+        }
+    }
+
+    /// The preceding month.
+    pub fn prev(self) -> Month {
+        if self.month == 1 {
+            Month::new(self.year - 1, 12)
+        } else {
+            Month::new(self.year, self.month - 1)
+        }
+    }
+
+    /// Every month from `self` to `end` inclusive. Empty if `end < self`.
+    pub fn range_inclusive(self, end: Month) -> Vec<Month> {
+        let mut out = Vec::new();
+        let mut m = self;
+        while m <= end {
+            out.push(m);
+            m = m.next();
+        }
+        out
+    }
+
+    /// Number of months between `self` and `other` (`other - self`).
+    pub fn months_until(self, other: Month) -> i32 {
+        (other.year - self.year) * 12 + (other.month as i32 - self.month as i32)
+    }
+
+    /// Number of days in this month (Gregorian rules).
+    pub fn days_in_month(self) -> u8 {
+        match self.month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if is_leap_year(self.year) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => unreachable!("month validated on construction"),
+        }
+    }
+
+    /// Parse `YYYY-MM`.
+    pub fn parse(s: &str) -> Option<Month> {
+        let (y, m) = s.split_once('-')?;
+        let year: i32 = y.parse().ok()?;
+        let month: u8 = m.parse().ok()?;
+        if (1..=12).contains(&month) {
+            Some(Month { year, month })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// A day-resolution date.
+///
+/// Internally events are timestamped as "days since 2020-01-01", which keeps
+/// arithmetic trivial; this type converts between that representation and
+/// calendar dates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Calendar year.
+    pub year: i32,
+    /// Month of the year, 1–12.
+    pub month: u8,
+    /// Day of the month, 1–31 (validated against the month length).
+    pub day: u8,
+}
+
+/// The epoch used for day-number arithmetic: 2020-01-01 is day 0.
+pub const EPOCH: Date = Date {
+    year: 2020,
+    month: 1,
+    day: 1,
+};
+
+impl Date {
+    /// Create a date, panicking if the day is invalid for the month.
+    pub fn new(year: i32, month: u8, day: u8) -> Date {
+        let m = Month::new(year, month);
+        assert!(
+            day >= 1 && day <= m.days_in_month(),
+            "day {day} out of range for {m}"
+        );
+        Date { year, month, day }
+    }
+
+    /// The calendar month containing this date.
+    pub fn month_of(self) -> Month {
+        Month::new(self.year, self.month)
+    }
+
+    /// Days since the [`EPOCH`] (2020-01-01). Dates before the epoch yield
+    /// negative numbers.
+    pub fn day_number(self) -> i64 {
+        let mut days: i64 = 0;
+        if self.year >= EPOCH.year {
+            for y in EPOCH.year..self.year {
+                days += if is_leap_year(y) { 366 } else { 365 };
+            }
+        } else {
+            for y in self.year..EPOCH.year {
+                days -= if is_leap_year(y) { 366 } else { 365 };
+            }
+        }
+        for m in 1..self.month {
+            days += Month::new(self.year, m).days_in_month() as i64;
+        }
+        days + (self.day as i64 - 1)
+    }
+
+    /// Convert a day number (days since the epoch) back to a date. Only
+    /// supports dates on or after the epoch, which covers the paper's
+    /// 2023-01 → 2024-03 study window.
+    pub fn from_day_number(n: i64) -> Date {
+        assert!(n >= 0, "from_day_number only supports dates on/after 2020-01-01");
+        let mut remaining = n;
+        let mut year = EPOCH.year;
+        loop {
+            let len = if is_leap_year(year) { 366 } else { 365 };
+            if remaining < len {
+                break;
+            }
+            remaining -= len;
+            year += 1;
+        }
+        let mut month = 1u8;
+        loop {
+            let len = Month::new(year, month).days_in_month() as i64;
+            if remaining < len {
+                break;
+            }
+            remaining -= len;
+            month += 1;
+        }
+        Date::new(year, month, (remaining + 1) as u8)
+    }
+
+    /// The date `days` days after this one.
+    pub fn plus_days(self, days: i64) -> Date {
+        Date::from_day_number(self.day_number() + days)
+    }
+
+    /// Whole days from `self` to `other` (`other - self`).
+    pub fn days_until(self, other: Date) -> i64 {
+        other.day_number() - self.day_number()
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut parts = s.splitn(3, '-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: u8 = parts.next()?.parse().ok()?;
+        let day: u8 = parts.next()?.parse().ok()?;
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        let m = Month::new(year, month);
+        if day == 0 || day > m.days_in_month() {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A series of per-month values over a contiguous month range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthlySeries {
+    start: Month,
+    values: Vec<f64>,
+}
+
+impl MonthlySeries {
+    /// Create a zero-filled series spanning `start..=end`.
+    pub fn zeros(start: Month, end: Month) -> MonthlySeries {
+        assert!(start <= end, "series range must be non-empty");
+        let len = start.months_until(end) as usize + 1;
+        MonthlySeries {
+            start,
+            values: vec![0.0; len],
+        }
+    }
+
+    /// First month of the series.
+    pub fn start(&self) -> Month {
+        self.start
+    }
+
+    /// Last month of the series.
+    pub fn end(&self) -> Month {
+        let mut m = self.start;
+        for _ in 1..self.values.len() {
+            m = m.next();
+        }
+        m
+    }
+
+    /// Number of months covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the series covers no months (never constructible via `zeros`).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn index_of(&self, month: Month) -> Option<usize> {
+        let offset = self.start.months_until(month);
+        if offset < 0 || offset as usize >= self.values.len() {
+            None
+        } else {
+            Some(offset as usize)
+        }
+    }
+
+    /// Add `amount` to the bucket for `month`. Out-of-range months are ignored
+    /// and reported by returning `false`.
+    pub fn add(&mut self, month: Month, amount: f64) -> bool {
+        match self.index_of(month) {
+            Some(i) => {
+                self.values[i] += amount;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Set the value for `month` exactly.
+    pub fn set(&mut self, month: Month, value: f64) -> bool {
+        match self.index_of(month) {
+            Some(i) => {
+                self.values[i] = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Value for `month`, if in range.
+    pub fn get(&self, month: Month) -> Option<f64> {
+        self.index_of(month).map(|i| self.values[i])
+    }
+
+    /// Iterate `(month, value)` pairs in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = (Month, f64)> + '_ {
+        let mut m = self.start;
+        self.values.iter().map(move |&v| {
+            let cur = m;
+            m = m.next();
+            (cur, v)
+        })
+    }
+
+    /// Running (prefix) sum of the series — what Figure 5 plots.
+    pub fn cumulative(&self) -> MonthlySeries {
+        let mut total = 0.0;
+        let values = self
+            .values
+            .iter()
+            .map(|v| {
+                total += v;
+                total
+            })
+            .collect();
+        MonthlySeries {
+            start: self.start,
+            values,
+        }
+    }
+
+    /// Sum of all per-month values.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_display_and_parse_round_trip() {
+        let m = Month::new(2024, 3);
+        assert_eq!(m.to_string(), "2024-03");
+        assert_eq!(Month::parse("2024-03"), Some(m));
+        assert_eq!(Month::parse("2024-13"), None);
+        assert_eq!(Month::parse("garbage"), None);
+    }
+
+    #[test]
+    fn month_next_and_prev_wrap_years() {
+        assert_eq!(Month::new(2023, 12).next(), Month::new(2024, 1));
+        assert_eq!(Month::new(2024, 1).prev(), Month::new(2023, 12));
+    }
+
+    #[test]
+    fn month_range_inclusive() {
+        let months = Month::new(2023, 11).range_inclusive(Month::new(2024, 2));
+        assert_eq!(months.len(), 4);
+        assert_eq!(months[0], Month::new(2023, 11));
+        assert_eq!(months[3], Month::new(2024, 2));
+        assert!(Month::new(2024, 2)
+            .range_inclusive(Month::new(2023, 11))
+            .is_empty());
+    }
+
+    #[test]
+    fn months_until_signed() {
+        assert_eq!(Month::new(2023, 1).months_until(Month::new(2024, 3)), 14);
+        assert_eq!(Month::new(2024, 3).months_until(Month::new(2023, 1)), -14);
+    }
+
+    #[test]
+    fn days_in_month_handles_leap_years() {
+        assert_eq!(Month::new(2024, 2).days_in_month(), 29);
+        assert_eq!(Month::new(2023, 2).days_in_month(), 28);
+        assert_eq!(Month::new(2100, 2).days_in_month(), 28);
+        assert_eq!(Month::new(2000, 2).days_in_month(), 29);
+        assert_eq!(Month::new(2024, 4).days_in_month(), 30);
+        assert_eq!(Month::new(2024, 12).days_in_month(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "month must be")]
+    fn invalid_month_panics() {
+        Month::new(2024, 0);
+    }
+
+    #[test]
+    fn date_day_number_round_trip() {
+        for &s in &["2020-01-01", "2023-01-15", "2024-02-29", "2024-03-30", "2024-12-31"] {
+            let d = Date::parse(s).unwrap();
+            assert_eq!(Date::from_day_number(d.day_number()), d, "round trip for {s}");
+        }
+    }
+
+    #[test]
+    fn date_epoch_is_day_zero() {
+        assert_eq!(EPOCH.day_number(), 0);
+        assert_eq!(Date::new(2020, 1, 2).day_number(), 1);
+        assert_eq!(Date::new(2020, 2, 1).day_number(), 31);
+        // 2020 is a leap year: 366 days.
+        assert_eq!(Date::new(2021, 1, 1).day_number(), 366);
+    }
+
+    #[test]
+    fn date_days_until_and_plus_days() {
+        let a = Date::new(2023, 12, 30);
+        let b = Date::new(2024, 1, 4);
+        assert_eq!(a.days_until(b), 5);
+        assert_eq!(a.plus_days(5), b);
+        assert_eq!(b.days_until(a), -5);
+    }
+
+    #[test]
+    fn date_parse_rejects_invalid() {
+        assert_eq!(Date::parse("2023-02-29"), None);
+        assert_eq!(Date::parse("2023-00-10"), None);
+        assert_eq!(Date::parse("2023-01"), None);
+        assert!(Date::parse("2024-02-29").is_some());
+    }
+
+    #[test]
+    fn date_month_of() {
+        assert_eq!(Date::new(2024, 3, 26).month_of(), Month::new(2024, 3));
+    }
+
+    #[test]
+    fn series_add_and_get() {
+        let mut s = MonthlySeries::zeros(Month::new(2023, 1), Month::new(2024, 3));
+        assert_eq!(s.len(), 15);
+        assert!(s.add(Month::new(2023, 6), 2.0));
+        assert!(s.add(Month::new(2023, 6), 1.0));
+        assert_eq!(s.get(Month::new(2023, 6)), Some(3.0));
+        assert_eq!(s.get(Month::new(2022, 12)), None);
+        assert!(!s.add(Month::new(2024, 4), 1.0));
+    }
+
+    #[test]
+    fn series_cumulative() {
+        let mut s = MonthlySeries::zeros(Month::new(2023, 1), Month::new(2023, 4));
+        s.set(Month::new(2023, 1), 1.0);
+        s.set(Month::new(2023, 2), 2.0);
+        s.set(Month::new(2023, 4), 4.0);
+        let c = s.cumulative();
+        let values: Vec<f64> = c.iter().map(|(_, v)| v).collect();
+        assert_eq!(values, vec![1.0, 3.0, 3.0, 7.0]);
+        assert_eq!(s.total(), 7.0);
+    }
+
+    #[test]
+    fn series_iter_months_in_order() {
+        let s = MonthlySeries::zeros(Month::new(2023, 11), Month::new(2024, 1));
+        let months: Vec<Month> = s.iter().map(|(m, _)| m).collect();
+        assert_eq!(
+            months,
+            vec![Month::new(2023, 11), Month::new(2023, 12), Month::new(2024, 1)]
+        );
+        assert_eq!(s.end(), Month::new(2024, 1));
+    }
+}

@@ -1,0 +1,243 @@
+//! The survey runner: participants × pairs → timed responses.
+
+use crate::pairs::{PairGroup, PairUniverse, SitePair};
+use crate::participant::{Cues, FactorReport, Participant, Verdict};
+use rws_corpus::Corpus;
+use rws_domain::PublicSuffixList;
+use rws_stats::rng::Xoshiro256StarStar;
+use rws_stats::sampling::{sample_without_replacement, shuffle};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the survey run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyConfig {
+    /// Seed for participant behaviour and pair assignment.
+    pub seed: u64,
+    /// Number of participants (the paper recruited 30 sessions).
+    pub participants: usize,
+    /// Pairs drawn per group for each participant (the paper used 5,
+    /// giving 20 questions).
+    pub pairs_per_group: usize,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig {
+            seed: 0x5343_2024,
+            participants: 30,
+            pairs_per_group: 5,
+        }
+    }
+}
+
+/// One answered question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyResponse {
+    /// The participant (session) id.
+    pub participant: usize,
+    /// The pair shown.
+    pub pair: SitePair,
+    /// The verdict given.
+    pub verdict: Verdict,
+    /// Seconds spent on the question.
+    pub seconds: f64,
+}
+
+impl SurveyResponse {
+    /// True if this response is a privacy-harming error: the pair is related
+    /// under RWS but the participant judged it unrelated.
+    pub fn privacy_harming_error(&self) -> bool {
+        self.pair.related_under_rws() && self.verdict == Verdict::Unrelated
+    }
+
+    /// True if the verdict matches the RWS ground truth.
+    pub fn correct(&self) -> bool {
+        (self.verdict == Verdict::Related) == self.pair.related_under_rws()
+    }
+}
+
+/// The complete dataset produced by a run — the analogue of the anonymised
+/// CSV released with the paper.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SurveyDataset {
+    /// Every answered question.
+    pub responses: Vec<SurveyResponse>,
+    /// Factor questionnaires from the participants that answered them.
+    pub factor_reports: Vec<FactorReport>,
+    /// Number of participants that started the survey.
+    pub participants_started: usize,
+}
+
+impl SurveyDataset {
+    /// All responses for one group.
+    pub fn for_group(&self, group: PairGroup) -> Vec<&SurveyResponse> {
+        self.responses.iter().filter(|r| r.pair.group == group).collect()
+    }
+
+    /// Number of distinct participants with at least one response.
+    pub fn active_participants(&self) -> usize {
+        let mut ids: Vec<usize> = self.responses.iter().map(|r| r.participant).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of participants that made at least one privacy-harming error
+    /// (the paper: 22 of 30, 73.3%).
+    pub fn participants_with_privacy_harming_error(&self) -> usize {
+        let mut ids: Vec<usize> = self
+            .responses
+            .iter()
+            .filter(|r| r.privacy_harming_error())
+            .map(|r| r.participant)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+/// Runs the survey against a corpus.
+pub struct SurveyRunner {
+    config: SurveyConfig,
+}
+
+impl SurveyRunner {
+    /// Create a runner.
+    pub fn new(config: SurveyConfig) -> SurveyRunner {
+        SurveyRunner { config }
+    }
+
+    /// Run the survey: each participant sees `pairs_per_group` pairs from
+    /// each group, in shuffled order, may skip questions or abandon the
+    /// survey, and finally answers the factor questionnaire.
+    pub fn run(&self, corpus: &Corpus, universe: &PairUniverse) -> SurveyDataset {
+        let cfg = self.config;
+        let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("survey-runner");
+        let psl = PublicSuffixList::embedded();
+        let mut dataset = SurveyDataset {
+            participants_started: cfg.participants,
+            ..SurveyDataset::default()
+        };
+
+        for participant_id in 0..cfg.participants {
+            let participant = Participant::generate(participant_id, &mut rng);
+
+            // Draw this participant's question list: pairs_per_group from
+            // each group (or as many as exist), shuffled together.
+            let mut questions: Vec<SitePair> = Vec::new();
+            for group in PairGroup::ALL {
+                let pool = universe.group(group);
+                if pool.is_empty() {
+                    continue;
+                }
+                questions.extend(sample_without_replacement(pool, cfg.pairs_per_group, &mut rng));
+            }
+            shuffle(&mut questions, &mut rng);
+
+            for pair in questions {
+                if participant.skips(&mut rng) {
+                    continue;
+                }
+                let cues = Cues::observe(corpus, &pair, &psl);
+                let (verdict, seconds) = participant.judge(&cues, &mut rng);
+                dataset.responses.push(SurveyResponse {
+                    participant: participant_id,
+                    pair,
+                    verdict,
+                    seconds,
+                });
+                if participant.drops_out(&mut rng) {
+                    break;
+                }
+            }
+
+            if let Some(report) = participant.report_factors(&mut rng) {
+                dataset.factor_reports.push(report);
+            }
+        }
+
+        dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::PairGenerator;
+    use rws_classify::CategoryDatabase;
+    use rws_corpus::{CorpusConfig, CorpusGenerator};
+
+    fn run_small(seed: u64) -> (rws_corpus::Corpus, SurveyDataset) {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(31)).generate();
+        let categories = CategoryDatabase::from_ground_truth(&corpus);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let universe = PairGenerator::new(&corpus, &categories).generate(&mut rng);
+        let dataset = SurveyRunner::new(SurveyConfig {
+            seed,
+            ..SurveyConfig::default()
+        })
+        .run(&corpus, &universe);
+        (corpus, dataset)
+    }
+
+    #[test]
+    fn run_produces_responses_for_every_group_present() {
+        let (_, dataset) = run_small(1);
+        assert!(!dataset.responses.is_empty());
+        assert!(dataset.active_participants() > 20);
+        assert!(dataset.participants_started == 30);
+        // Most participants answer most of their 20 questions.
+        let per_participant = dataset.responses.len() as f64 / dataset.active_participants() as f64;
+        assert!(per_participant > 8.0, "mean responses per participant {per_participant}");
+        // Factor questionnaires come from roughly 70% of participants.
+        assert!((10..=30).contains(&dataset.factor_reports.len()));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (_, a) = run_small(7);
+        let (_, b) = run_small(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, a) = run_small(7);
+        let (_, b) = run_small(8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn privacy_harming_errors_only_on_same_set_pairs() {
+        let (_, dataset) = run_small(3);
+        for response in &dataset.responses {
+            if response.privacy_harming_error() {
+                assert_eq!(response.pair.group, PairGroup::RwsSameSet);
+                assert_eq!(response.verdict, Verdict::Unrelated);
+            }
+        }
+        assert!(dataset.participants_with_privacy_harming_error() <= dataset.active_participants());
+    }
+
+    #[test]
+    fn response_times_within_bounds() {
+        let (_, dataset) = run_small(4);
+        for response in &dataset.responses {
+            assert!((2.0..=120.0).contains(&response.seconds));
+        }
+    }
+
+    #[test]
+    fn correctness_definition_matches_ground_truth() {
+        let (corpus, dataset) = run_small(5);
+        for response in &dataset.responses {
+            let actually_related = corpus.list.are_related(&response.pair.first, &response.pair.second);
+            assert_eq!(response.pair.related_under_rws(), actually_related);
+            assert_eq!(
+                response.correct(),
+                (response.verdict == Verdict::Related) == actually_related
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduction of the governance analysis (Section 4): simulate the GitHub
+//! submission pipeline and print Table 3 and Figures 5–7.
+//!
+//! Run with: `cargo run --release --example governance_audit`
+
+use rws_analysis::{PaperReproduction, ScenarioConfig};
+use rws_github::PrState;
+
+fn main() {
+    let reproduction = PaperReproduction::new(ScenarioConfig::default());
+
+    for id in ["table3", "figure5", "figure6", "figure7"] {
+        let report = reproduction
+            .run(id)
+            .expect("governance experiments are registered");
+        println!("{}", report.to_text());
+    }
+
+    let history = &reproduction.scenario().history;
+    println!("--- governance summary ---");
+    println!("pull requests:            {}", history.len());
+    println!("approved:                 {}", history.count(PrState::Approved));
+    println!("closed without merging:   {}", history.count(PrState::Closed));
+    println!("rejection rate:           {:.1}% (paper: 58.8%)", 100.0 * history.rejection_rate());
+    println!("distinct set primaries:   {} (paper: 60)", history.distinct_primaries());
+    println!("mean PRs per primary:     {:.2} (paper: 1.9)", history.mean_prs_per_primary());
+    println!(
+        "same-day closures:        {:.1}% of rejected PRs (paper: 54.3%)",
+        100.0 * history.same_day_fraction(PrState::Closed)
+    );
+}

@@ -1,0 +1,36 @@
+//! Full reproduction of the paper's user study (Section 3): generate the
+//! pair universe, simulate 30 participants, and print Table 1, Table 2,
+//! Figure 1 and Figure 2.
+//!
+//! Run with: `cargo run --release --example survey_study`
+
+use rws_analysis::{PaperReproduction, ScenarioConfig};
+
+fn main() {
+    let config = ScenarioConfig::default();
+    println!(
+        "generating scenario: {} organisations, {} survey participants, {} pairs per group\n",
+        config.corpus.organisations, config.survey.participants, config.survey.pairs_per_group
+    );
+    let reproduction = PaperReproduction::new(config);
+
+    for id in ["table1", "table2", "figure1", "figure2"] {
+        let report = reproduction
+            .run(id)
+            .expect("survey experiments are registered");
+        println!("{}", report.to_text());
+    }
+
+    let scenario = reproduction.scenario();
+    println!(
+        "pair universe: {} same-set, {} other-set, {} top-site same-category, {} top-site other-category",
+        scenario.pairs.same_set.len(),
+        scenario.pairs.other_set.len(),
+        scenario.pairs.top_same_category.len(),
+        scenario.pairs.top_other_category.len(),
+    );
+    println!(
+        "survey-eligible RWS members after the live/English filter: {}",
+        scenario.corpus.survey_eligible_members().len()
+    );
+}

@@ -1,0 +1,33 @@
+//! Meta-crate for the "A First Look at Related Website Sets" reproduction.
+//!
+//! This crate exists so that the repository-level examples and integration
+//! tests have a single dependency root; it simply re-exports every workspace
+//! crate under a short alias. Library users should depend on the individual
+//! crates (most commonly [`analysis`] / `rws-analysis`) directly.
+
+pub use rws_analysis as analysis;
+pub use rws_browser as browser;
+pub use rws_classify as classify;
+pub use rws_corpus as corpus;
+pub use rws_domain as domain;
+pub use rws_github as github;
+pub use rws_html as html;
+pub use rws_model as model;
+pub use rws_net as net;
+pub use rws_stats as stats;
+pub use rws_survey as survey;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        // Touch one item from each re-exported crate so a rename breaks the
+        // build here rather than in downstream examples.
+        let _ = crate::domain::PublicSuffixList::embedded();
+        let _ = crate::stats::SplitMix64::new(1);
+        let _ = crate::model::RwsList::new();
+        let _ = crate::net::SimulatedWeb::new();
+        let _ = crate::corpus::CorpusConfig::default();
+        let _ = crate::analysis::ScenarioConfig::default();
+    }
+}
