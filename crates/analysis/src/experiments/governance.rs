@@ -76,7 +76,10 @@ impl Experiment for Figure5 {
         let mut report = Report::new(self.id(), self.title());
         report.add_series(Series::new(
             "Approved",
-            approved.iter().map(|(m, v)| (month_x(start, m), v)).collect(),
+            approved
+                .iter()
+                .map(|(m, v)| (month_x(start, m), v))
+                .collect(),
         ));
         report.add_series(Series::new(
             "Closed (without being merged)",
@@ -191,12 +194,12 @@ impl Experiment for Figure7 {
     }
 }
 
+/// One named series of `(x, y)` points, as consumed by the report layer.
+type NamedSeries = (String, Vec<(f64, f64)>);
+
 /// Shared machinery for Figures 8 and 9: per-month counts of members of one
 /// role, bucketed by Forcepoint-style category.
-fn category_series(
-    scenario: &Scenario,
-    role: MemberRole,
-) -> (Vec<(String, Vec<(f64, f64)>)>, CategoryCounter) {
+fn category_series(scenario: &Scenario, role: MemberRole) -> (Vec<NamedSeries>, CategoryCounter) {
     let start = scenario.config.window_start;
     let end = scenario.config.window_end;
     let months = start.range_inclusive(end);
@@ -206,7 +209,8 @@ fn category_series(
     let mut final_counts = CategoryCounter::new();
     let mut per_month: Vec<CategoryCounter> = Vec::with_capacity(months.len());
     for (idx, month) in months.iter().enumerate() {
-        let cutoff = rws_stats::timeseries::Date::new(month.year, month.month, month.days_in_month());
+        let cutoff =
+            rws_stats::timeseries::Date::new(month.year, month.month, month.days_in_month());
         let mut counter = CategoryCounter::new();
         if let Some(snapshot) = scenario.snapshots.at(cutoff) {
             for set in snapshot.list.sets() {
@@ -337,7 +341,10 @@ mod tests {
             .iter()
             .map(|r| r[1].parse::<u64>().unwrap())
             .collect();
-        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "not sorted: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "not sorted: {counts:?}"
+        );
         assert_eq!(table.rows()[0][0], "Unable to fetch .well-known JSON file");
     }
 
@@ -347,9 +354,19 @@ mod tests {
         let report = Figure5.run(&s);
         for series in &report.series {
             let ys: Vec<f64> = series.points.iter().map(|(_, y)| *y).collect();
-            assert!(ys.windows(2).all(|w| w[1] >= w[0]), "{} not cumulative", series.name);
+            assert!(
+                ys.windows(2).all(|w| w[1] >= w[0]),
+                "{} not cumulative",
+                series.name
+            );
         }
-        let approved_final = report.series_named("Approved").unwrap().points.last().unwrap().1;
+        let approved_final = report
+            .series_named("Approved")
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .1;
         assert!(approved_final > 0.0);
     }
 
@@ -358,7 +375,8 @@ mod tests {
         let s = scenario();
         let report = Figure6.run(&s);
         assert_eq!(report.series.len(), 2);
-        let approved_median = rws_stats::median(&s.history.days_to_process(PrState::Approved)).unwrap();
+        let approved_median =
+            rws_stats::median(&s.history.days_to_process(PrState::Approved)).unwrap();
         let closed_median = rws_stats::median(&s.history.days_to_process(PrState::Closed)).unwrap();
         assert!(
             closed_median <= approved_median,
@@ -372,7 +390,10 @@ mod tests {
         let report = Figure7.run(&s);
         let associated = report.series_named("Associated sites").unwrap();
         let ys: Vec<f64> = associated.points.iter().map(|(_, y)| *y).collect();
-        assert!(ys.windows(2).all(|w| w[1] >= w[0] - 1e-9), "composition series shrank: {ys:?}");
+        assert!(
+            ys.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "composition series shrank: {ys:?}"
+        );
         assert!(*ys.last().unwrap() > 0.0);
     }
 

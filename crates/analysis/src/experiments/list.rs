@@ -3,10 +3,12 @@
 use crate::experiments::Experiment;
 use crate::report::{Report, Series, TextTable};
 use crate::scenario::Scenario;
-use rws_domain::{PublicSuffixList, SldComparison};
-use rws_html::similarity::{html_similarity, SimilarityWeights};
+use rws_domain::{DomainName, SiteResolver, SldComparison};
+use rws_html::similarity::{DocumentProfile, SimilarityWeights};
 use rws_model::MemberRole;
+use rws_stats::parallel::par_map;
 use rws_stats::Ecdf;
+use std::collections::HashMap;
 
 /// Figure 3: CDFs of the Levenshtein edit distance between service /
 /// associated site SLDs and their set primary's SLD.
@@ -14,17 +16,22 @@ pub struct Figure3;
 
 impl Figure3 {
     /// The per-role edit-distance samples underlying the figure.
+    ///
+    /// The pairwise sweep runs in parallel; the shared [`SiteResolver`]
+    /// memoizes each primary's SLD across all of its member pairs.
     pub fn distances(scenario: &Scenario) -> (Vec<f64>, Vec<f64>) {
-        let psl = PublicSuffixList::embedded();
+        let resolver = SiteResolver::embedded();
+        let pairs = scenario.corpus.list.member_primary_pairs();
+        let comparisons = par_map(&pairs, |_, (primary, member, role)| {
+            SldComparison::compute_cached(member, primary, &resolver)
+                .map(|comparison| (*role, comparison.edit_distance as f64))
+        });
         let mut service = Vec::new();
         let mut associated = Vec::new();
-        for (primary, member, role) in scenario.corpus.list.member_primary_pairs() {
-            let Some(comparison) = SldComparison::compute(&member, &primary, &psl) else {
-                continue;
-            };
-            match role {
-                MemberRole::Service => service.push(comparison.edit_distance as f64),
-                MemberRole::Associated => associated.push(comparison.edit_distance as f64),
+        for entry in comparisons.into_iter().flatten() {
+            match entry {
+                (MemberRole::Service, d) => service.push(d),
+                (MemberRole::Associated, d) => associated.push(d),
                 _ => {}
             }
         }
@@ -85,22 +92,54 @@ pub struct Figure4;
 impl Figure4 {
     /// The three similarity samples (style, structural, joint) over every
     /// service/associated member paired with its primary.
+    ///
+    /// Each distinct document is fetched, tokenized and shingled exactly
+    /// once (in parallel) into a [`DocumentProfile`]; the pairwise phase
+    /// then only compares precomputed hash sets. Primaries appear in many
+    /// pairs, so the reuse is substantial on top of the per-pair speedup.
     pub fn similarities(scenario: &Scenario) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let weights = SimilarityWeights::default();
+        let pairs: Vec<(DomainName, DomainName, MemberRole)> = scenario
+            .corpus
+            .list
+            .member_primary_pairs()
+            .into_iter()
+            .filter(|(_, _, role)| matches!(role, MemberRole::Service | MemberRole::Associated))
+            .collect();
+
+        // Phase 1: profile every distinct document, in parallel.
+        let mut distinct: Vec<DomainName> = Vec::new();
+        let mut seen: HashMap<DomainName, usize> = HashMap::new();
+        for (primary, member, _) in &pairs {
+            for domain in [primary, member] {
+                if !seen.contains_key(domain) {
+                    seen.insert(domain.clone(), distinct.len());
+                    distinct.push(domain.clone());
+                }
+            }
+        }
+        let profiles: Vec<Option<DocumentProfile>> = par_map(&distinct, |_, domain| {
+            scenario
+                .corpus
+                .html_of(domain)
+                .map(|html| DocumentProfile::new(&html, weights))
+        });
+        let profile_of = |domain: &DomainName| profiles[seen[domain]].as_ref();
+
+        // Phase 2: compare precomputed profiles, in parallel.
+        let scores = par_map(&pairs, |_, (primary, member, _)| {
+            let (Some(primary_profile), Some(member_profile)) =
+                (profile_of(primary), profile_of(member))
+            else {
+                return None;
+            };
+            Some(primary_profile.similarity(member_profile, weights))
+        });
+
         let mut style = Vec::new();
         let mut structural = Vec::new();
         let mut joint = Vec::new();
-        for (primary, member, role) in scenario.corpus.list.member_primary_pairs() {
-            if !matches!(role, MemberRole::Service | MemberRole::Associated) {
-                continue;
-            }
-            let (Some(primary_html), Some(member_html)) = (
-                scenario.corpus.html_of(&primary),
-                scenario.corpus.html_of(&member),
-            ) else {
-                continue;
-            };
-            let similarity = html_similarity(&primary_html, &member_html, weights);
+        for similarity in scores.into_iter().flatten() {
             style.push(similarity.style);
             structural.push(similarity.structural);
             joint.push(similarity.joint);
@@ -171,9 +210,12 @@ mod tests {
     fn figure3_produces_cdfs_and_sane_distances() {
         let s = scenario();
         let (service, associated) = Figure3::distances(&s);
-        assert!(!associated.is_empty(), "corpus must contain associated sites");
+        assert!(
+            !associated.is_empty(),
+            "corpus must contain associated sites"
+        );
         for &d in service.iter().chain(associated.iter()) {
-            assert!(d >= 0.0 && d < 40.0, "implausible edit distance {d}");
+            assert!((0.0..40.0).contains(&d), "implausible edit distance {d}");
         }
         let report = Figure3.run(&s);
         assert_eq!(report.series.len(), 2);
@@ -193,7 +235,10 @@ mod tests {
         // The paper's qualitative finding: the median joint similarity is
         // low (members mostly do not look like their primaries).
         let median_joint = rws_stats::median(&joint).unwrap();
-        assert!(median_joint < 0.5, "median joint similarity {median_joint} too high");
+        assert!(
+            median_joint < 0.5,
+            "median joint similarity {median_joint} too high"
+        );
         let report = Figure4.run(&s);
         assert_eq!(report.series.len(), 3);
         assert!(report.table("summary").unwrap().row_count() == 3);

@@ -79,7 +79,10 @@ impl Experiment for Table2 {
             ]);
         }
         report.add_table("table2", table);
-        report.add_note(format!("factor questionnaire respondents: {}", analysis.factors.respondents));
+        report.add_note(format!(
+            "factor questionnaire respondents: {}",
+            analysis.factors.respondents
+        ));
         report.add_note(format!("paper reference: {}", self.paper_reference()));
         report
     }
@@ -239,10 +242,18 @@ mod tests {
         // check they sum to ~100%.
         let row = &table.rows()[0];
         let pct = |cell: &str| -> f64 {
-            cell.split('(').nth(1).unwrap().trim_end_matches("%)").parse().unwrap()
+            cell.split('(')
+                .nth(1)
+                .unwrap()
+                .trim_end_matches("%)")
+                .parse()
+                .unwrap()
         };
         let total = pct(&row[1]) + pct(&row[2]);
-        assert!((total - 100.0).abs() < 0.2, "row percentages sum to {total}");
+        assert!(
+            (total - 100.0).abs() < 0.2,
+            "row percentages sum to {total}"
+        );
     }
 
     #[test]
@@ -258,10 +269,7 @@ mod tests {
     fn same_set_summary_counts_match_responses() {
         let s = scenario();
         let (related, unrelated) = same_set_summary(&s);
-        let total = s
-            .survey
-            .for_group(PairGroup::RwsSameSet)
-            .len();
+        let total = s.survey.for_group(PairGroup::RwsSameSet).len();
         assert_eq!(related + unrelated, total);
     }
 }

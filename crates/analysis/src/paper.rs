@@ -1,8 +1,8 @@
 //! The end-to-end paper reproduction: run every experiment over one shared
 //! scenario.
 
-pub use crate::experiments::Experiment;
 use crate::experiments::all_experiments;
+pub use crate::experiments::Experiment;
 use crate::report::Report;
 use crate::scenario::{Scenario, ScenarioConfig};
 
@@ -34,7 +34,8 @@ impl PaperReproduction {
 
     /// The generated scenario (generating it on first access).
     pub fn scenario(&self) -> &Scenario {
-        self.scenario.get_or_init(|| Scenario::generate(self.config))
+        self.scenario
+            .get_or_init(|| Scenario::generate(self.config))
     }
 
     /// The experiment ids available, in paper order.

@@ -44,12 +44,14 @@ impl Default for ScenarioConfig {
 impl ScenarioConfig {
     /// A reduced-size configuration for fast tests and doctests.
     pub fn small(seed: u64) -> ScenarioConfig {
-        let mut config = ScenarioConfig::default();
-        config.corpus = CorpusConfig::small(seed);
+        let mut config = ScenarioConfig {
+            corpus: CorpusConfig::small(seed),
+            top_site_sample: 60,
+            ..ScenarioConfig::default()
+        };
         config.survey.seed = seed;
         config.history.seed = seed ^ 0xABCD;
         config.history.never_successful_primaries = 5;
-        config.top_site_sample = 60;
         config
     }
 }
@@ -125,7 +127,8 @@ impl Scenario {
 
         let mut series = SnapshotSeries::new();
         for month in config.window_start.range_inclusive(config.window_end) {
-            let cutoff = rws_stats::timeseries::Date::new(month.year, month.month, month.days_in_month());
+            let cutoff =
+                rws_stats::timeseries::Date::new(month.year, month.month, month.days_in_month());
             let sets: Vec<rws_model::RwsSet> = approvals
                 .iter()
                 .filter(|(_, date)| *date <= cutoff)
@@ -172,7 +175,10 @@ mod tests {
             .map(|s| s.list.set_count())
             .collect();
         assert!(!counts.is_empty());
-        assert!(counts.windows(2).all(|w| w[1] >= w[0]), "set counts {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[1] >= w[0]),
+            "set counts {counts:?}"
+        );
         // By the end of the window, most approved sets are present.
         let final_count = *counts.last().unwrap();
         assert!(final_count > 0);

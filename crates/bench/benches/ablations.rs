@@ -13,7 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rws_bench::bench_scenario;
-use rws_browser::{linkability_report, PromptBehaviour, VendorPolicy};
+use rws_browser::{linkability_by_vendor, linkability_report, PromptBehaviour, VendorPolicy};
 use rws_domain::{DomainName, PublicSuffixList, SldComparison};
 use rws_model::{MemberRole, SetValidator, ValidatorConfig};
 use std::sync::Once;
@@ -44,11 +44,17 @@ fn print_policy_ablation() {
                 .iter()
                 .map(|e| e.domain.clone()),
         );
-        println!("\nablation_policies: tracker {tracker}, {} sites in trace", trace.len());
-        println!("{:<16} {:>15} {:>12}", "vendor", "linkable pairs", "linkability");
-        for vendor in VendorPolicy::ALL {
-            let report =
-                linkability_report(vendor, list, &trace, &tracker, PromptBehaviour::AlwaysDecline);
+        println!(
+            "\nablation_policies: tracker {tracker}, {} sites in trace",
+            trace.len()
+        );
+        println!(
+            "{:<16} {:>15} {:>12}",
+            "vendor", "linkable pairs", "linkability"
+        );
+        // One replay per vendor, fanned out across threads.
+        for report in linkability_by_vendor(list, &trace, &tracker, PromptBehaviour::AlwaysDecline)
+        {
             println!(
                 "{:<16} {:>15} {:>12.3}",
                 report.vendor,
@@ -70,7 +76,14 @@ fn bench_policy_ablation(c: &mut Criterion) {
         .cloned()
         .unwrap_or_else(|| set.primary().clone());
     let mut trace: Vec<DomainName> = set.domains();
-    trace.extend(scenario.corpus.tranco.top(5).iter().map(|e| e.domain.clone()));
+    trace.extend(
+        scenario
+            .corpus
+            .tranco
+            .top(5)
+            .iter()
+            .map(|e| e.domain.clone()),
+    );
 
     let mut group = c.benchmark_group("ablation_policies");
     for vendor in VendorPolicy::ALL {
@@ -158,6 +171,19 @@ fn bench_sld_classifier(c: &mut Criterion) {
         }
     });
 
+    // Resolve every pair's SLDs once through the memoized resolver; the
+    // sweep itself then only runs the bounded edit-distance kernel.
+    let resolver = rws_domain::SiteResolver::embedded();
+    let sld_pairs: Vec<(String, String)> = pairs
+        .iter()
+        .filter_map(|(primary, member, _)| {
+            Some((
+                resolver.second_level_label(member)?,
+                resolver.second_level_label(primary)?,
+            ))
+        })
+        .collect();
+
     let mut group = c.benchmark_group("ablation_sld_classifier");
     for threshold in [0usize, 4, 8] {
         group.bench_with_input(
@@ -166,11 +192,10 @@ fn bench_sld_classifier(c: &mut Criterion) {
             |b, &threshold| {
                 b.iter(|| {
                     let mut hits = 0usize;
-                    for (primary, member, _) in &pairs {
-                        if let Some(cmp) = SldComparison::compute(member, primary, &psl) {
-                            if cmp.predicts_related(threshold) {
-                                hits += 1;
-                            }
+                    for (member_sld, primary_sld) in &sld_pairs {
+                        if SldComparison::predicts_related_slds(member_sld, primary_sld, threshold)
+                        {
+                            hits += 1;
                         }
                     }
                     std::hint::black_box(hits)

@@ -24,8 +24,8 @@ fn bench_survey_figures(c: &mut Criterion) {
     });
     group.bench_function("survey_simulation", |b| {
         b.iter(|| {
-            let dataset = SurveyRunner::new(SurveyConfig::default())
-                .run(&scenario.corpus, &scenario.pairs);
+            let dataset =
+                SurveyRunner::new(SurveyConfig::default()).run(&scenario.corpus, &scenario.pairs);
             std::hint::black_box(SurveyAnalysis::analyse(&dataset))
         })
     });

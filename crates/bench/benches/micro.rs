@@ -3,8 +3,8 @@
 //! lookup, KS tests and corpus generation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rws_bench::{bench_scenario, small_config};
 use rws_analysis::Scenario;
+use rws_bench::{bench_scenario, domain_pairs, small_config};
 use rws_domain::{levenshtein, DomainName, PublicSuffixList};
 use rws_html::similarity::{html_similarity, SimilarityWeights};
 use rws_stats::prelude::*;
@@ -49,7 +49,13 @@ fn bench_html_similarity(c: &mut Criterion) {
     let html_b = scenario.corpus.html_of(member).unwrap();
 
     c.bench_function("micro_html_similarity", |b| {
-        b.iter(|| std::hint::black_box(html_similarity(&html_a, &html_b, SimilarityWeights::default())))
+        b.iter(|| {
+            std::hint::black_box(html_similarity(
+                &html_a,
+                &html_b,
+                SimilarityWeights::default(),
+            ))
+        })
     });
 }
 
@@ -68,6 +74,131 @@ fn bench_list_lookup(c: &mut Criterion) {
             std::hint::black_box(related)
         })
     });
+}
+
+/// The head-to-head the acceptance criteria measure: bounded Levenshtein
+/// (threshold sweep) over 1k domain pairs vs. the naive per-call DP.
+fn bench_levenshtein_naive_vs_bounded(c: &mut Criterion) {
+    use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
+    let pairs = domain_pairs();
+    let threshold = 3usize;
+    let mut group = c.benchmark_group("micro_levenshtein_1k_pairs");
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut within = 0usize;
+            for (a, bb) in &pairs {
+                if levenshtein_naive(a, bb) <= threshold {
+                    within += 1;
+                }
+            }
+            std::hint::black_box(within)
+        })
+    });
+    group.bench_function("bounded", |b| {
+        b.iter(|| {
+            let mut within = 0usize;
+            for (a, bb) in &pairs {
+                if levenshtein_bounded(a, bb, threshold).is_some() {
+                    within += 1;
+                }
+            }
+            std::hint::black_box(within)
+        })
+    });
+    group.finish();
+}
+
+/// Pairwise HTML similarity: naive owned-set comparison vs. precomputed
+/// hashed profiles, over the corpus's member/primary pairs.
+fn bench_html_naive_vs_profiles(c: &mut Criterion) {
+    use rws_html::similarity::{html_similarity_naive, DocumentProfile};
+    let scenario = bench_scenario();
+    let weights = SimilarityWeights::default();
+    let docs: Vec<String> = scenario
+        .corpus
+        .list
+        .member_primary_pairs()
+        .iter()
+        .filter_map(|(p, _, _)| scenario.corpus.html_of(p))
+        .take(12)
+        .collect();
+    let mut group = c.benchmark_group("micro_html_pairwise");
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for a in &docs {
+                for bb in &docs {
+                    total += html_similarity_naive(a, bb, weights).joint;
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("profiles", |b| {
+        b.iter(|| {
+            let profiles: Vec<DocumentProfile> = docs
+                .iter()
+                .map(|d| DocumentProfile::new(d, weights))
+                .collect();
+            let mut total = 0.0;
+            for a in &profiles {
+                for bb in &profiles {
+                    total += a.similarity(bb, weights).joint;
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+/// PSL lookups: the trie walk against the linear rule scan, plus the
+/// memoized resolver on a repeated host set.
+fn bench_psl_trie_vs_linear(c: &mut Criterion) {
+    use rws_domain::SiteResolver;
+    let psl = PublicSuffixList::embedded();
+    let hosts: Vec<DomainName> = [
+        "example.com",
+        "www.example.co.uk",
+        "deep.sub.domain.example.com.br",
+        "myproject.github.io",
+        "a.b.kawasaki.jp",
+        "x.city.kawasaki.jp",
+        "news.wombat.ck",
+    ]
+    .iter()
+    .map(|s| DomainName::parse(s).unwrap())
+    .collect();
+    let mut group = c.benchmark_group("micro_psl_lookup");
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for host in &hosts {
+                let labels = host.labels();
+                total += psl.suffix_label_count_naive(&labels);
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("trie", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for host in &hosts {
+                let labels = host.labels();
+                total += psl.suffix_label_count_trie(&labels);
+            }
+            std::hint::black_box(total)
+        })
+    });
+    let resolver = SiteResolver::embedded();
+    group.bench_function("memoized_resolver", |b| {
+        b.iter(|| {
+            for host in &hosts {
+                std::hint::black_box(resolver.registrable_domain(host).ok());
+            }
+        })
+    });
+    group.finish();
 }
 
 fn bench_ks_test(c: &mut Criterion) {
@@ -102,6 +233,9 @@ criterion_group!(
     benches,
     bench_domain_primitives,
     bench_html_similarity,
+    bench_levenshtein_naive_vs_bounded,
+    bench_html_naive_vs_profiles,
+    bench_psl_trie_vs_linear,
     bench_list_lookup,
     bench_ks_test,
     bench_scenario_generation

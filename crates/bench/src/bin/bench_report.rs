@@ -1,0 +1,230 @@
+//! The bench-trajectory reporter.
+//!
+//! Measures the workspace's hot kernels — optimized against their naive
+//! oracles — and writes `BENCH_<N>.json` mapping each kernel to its median
+//! ns/op plus the naive/optimized speedup ratios, so later PRs can track
+//! perf deltas without parsing criterion output.
+//!
+//! Usage: `cargo run --release -p rws-bench --bin bench_report [-- N]`
+//! (N defaults to 1, producing `BENCH_1.json` in the current directory).
+
+use rws_bench::{bench_scenario, domain_pairs};
+use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
+use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
+use rws_html::similarity::{html_similarity_naive, DocumentProfile, SimilarityWeights};
+use serde_json::{json, Map, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median ns/op over several samples of a closure, after a short warm-up.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    let warmup_until = Instant::now() + std::time::Duration::from_millis(30);
+    let mut calls = 0u64;
+    let start = Instant::now();
+    while Instant::now() < warmup_until {
+        f();
+        calls += 1;
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+    let batch = ((4_000_000.0 / per_call.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+    let mut samples: Vec<f64> = (0..11)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// A synthetic full-scale PSL: 25 ccTLDs with 40 second-level
+/// registrations each (1k+ rules), the shape of the real list's ccTLD
+/// sections.
+fn dense_psl() -> PublicSuffixList {
+    let mut text = String::new();
+    for cc in 0..25 {
+        text.push_str(&format!("cc{cc}\n"));
+        for sld in 0..40 {
+            text.push_str(&format!("sld{sld}.cc{cc}\n"));
+        }
+    }
+    PublicSuffixList::parse(&text)
+}
+
+fn main() {
+    let index: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let mut kernels = Map::new();
+    let mut speedups = Map::new();
+
+    // --- bounded Levenshtein over 1k domain pairs --------------------------
+    let pairs = domain_pairs();
+    let threshold = 3usize;
+    let naive_ns = measure(|| {
+        let mut within = 0usize;
+        for (a, b) in &pairs {
+            if levenshtein_naive(a, b) <= threshold {
+                within += 1;
+            }
+        }
+        black_box(within);
+    });
+    let bounded_ns = measure(|| {
+        let mut within = 0usize;
+        for (a, b) in &pairs {
+            if levenshtein_bounded(a, b, threshold).is_some() {
+                within += 1;
+            }
+        }
+        black_box(within);
+    });
+    kernels.insert("levenshtein_1k_pairs_naive".into(), json!(naive_ns));
+    kernels.insert("levenshtein_1k_pairs_bounded".into(), json!(bounded_ns));
+    speedups.insert(
+        "levenshtein_bounded_vs_naive".into(),
+        json!(naive_ns / bounded_ns),
+    );
+
+    // --- pairwise HTML similarity ------------------------------------------
+    let scenario = bench_scenario();
+    let weights = SimilarityWeights::default();
+    let docs: Vec<String> = scenario
+        .corpus
+        .list
+        .member_primary_pairs()
+        .iter()
+        .filter_map(|(p, _, _)| scenario.corpus.html_of(p))
+        .take(12)
+        .collect();
+    assert!(docs.len() >= 2, "bench corpus must provide documents");
+    let html_naive_ns = measure(|| {
+        let mut total = 0.0;
+        for a in &docs {
+            for b in &docs {
+                total += html_similarity_naive(a, b, weights).joint;
+            }
+        }
+        black_box(total);
+    });
+    let html_profile_ns = measure(|| {
+        let profiles: Vec<DocumentProfile> = docs
+            .iter()
+            .map(|d| DocumentProfile::new(d, weights))
+            .collect();
+        let mut total = 0.0;
+        for a in &profiles {
+            for b in &profiles {
+                total += a.similarity(b, weights).joint;
+            }
+        }
+        black_box(total);
+    });
+    kernels.insert("html_pairwise_naive".into(), json!(html_naive_ns));
+    kernels.insert("html_pairwise_profiles".into(), json!(html_profile_ns));
+    speedups.insert(
+        "html_profiles_vs_naive".into(),
+        json!(html_naive_ns / html_profile_ns),
+    );
+
+    // --- PSL lookup: linear scan vs trie vs memoized resolver --------------
+    let psl = PublicSuffixList::embedded();
+    let hosts: Vec<DomainName> = [
+        "example.com",
+        "www.example.co.uk",
+        "deep.sub.domain.example.com.br",
+        "myproject.github.io",
+        "a.b.kawasaki.jp",
+        "x.city.kawasaki.jp",
+        "news.wombat.ck",
+    ]
+    .iter()
+    .map(|s| DomainName::parse(s).unwrap())
+    .collect();
+    let linear_ns = measure(|| {
+        for host in &hosts {
+            let labels = host.labels();
+            black_box(psl.suffix_label_count_naive(&labels));
+        }
+    });
+    let trie_ns = measure(|| {
+        for host in &hosts {
+            let labels = host.labels();
+            black_box(psl.suffix_label_count_trie(&labels));
+        }
+    });
+    let resolver = SiteResolver::embedded();
+    let resolver_ns = measure(|| {
+        for host in &hosts {
+            black_box(resolver.registrable_domain(host).ok());
+        }
+    });
+    kernels.insert("psl_lookup_linear".into(), json!(linear_ns));
+    kernels.insert("psl_lookup_trie".into(), json!(trie_ns));
+    kernels.insert("psl_lookup_memoized".into(), json!(resolver_ns));
+    speedups.insert("psl_trie_vs_linear".into(), json!(linear_ns / trie_ns));
+    let resolver_stats = resolver.stats();
+
+    // --- PSL at full-list scale --------------------------------------------
+    // The embedded snapshot is tiny (a handful of rules per TLD), which
+    // understates the trie's advantage; the real Public Suffix List carries
+    // dozens of second-level registrations under many ccTLDs. Synthesise a
+    // dense list to measure the matchers at that scale.
+    let dense = dense_psl();
+    let dense_hosts: Vec<DomainName> = (0..200)
+        .map(|i| DomainName::parse(&format!("www.site{i}.sld{}.cc{}", i % 40, i % 25)).unwrap())
+        .collect();
+    let dense_linear_ns = measure(|| {
+        for host in &dense_hosts {
+            let labels = host.labels();
+            black_box(dense.suffix_label_count_naive(&labels));
+        }
+    });
+    let dense_trie_ns = measure(|| {
+        for host in &dense_hosts {
+            let labels = host.labels();
+            black_box(dense.suffix_label_count_trie(&labels));
+        }
+    });
+    kernels.insert("psl_dense_lookup_linear".into(), json!(dense_linear_ns));
+    kernels.insert("psl_dense_lookup_trie".into(), json!(dense_trie_ns));
+    speedups.insert(
+        "psl_dense_trie_vs_linear".into(),
+        json!(dense_linear_ns / dense_trie_ns),
+    );
+
+    // --- figure sweeps end-to-end ------------------------------------------
+    let fig3_ns = measure(|| {
+        black_box(rws_analysis::experiments::list::Figure3::distances(
+            scenario,
+        ));
+    });
+    let fig4_ns = measure(|| {
+        black_box(rws_analysis::experiments::list::Figure4::similarities(
+            scenario,
+        ));
+    });
+    kernels.insert("figure3_sweep".into(), json!(fig3_ns));
+    kernels.insert("figure4_sweep".into(), json!(fig4_ns));
+
+    let mut resolver_cache = Map::new();
+    resolver_cache.insert("hits".into(), json!(resolver_stats.hits));
+    resolver_cache.insert("misses".into(), json!(resolver_stats.misses));
+    let report = json!({
+        "schema": "rws-bench-trajectory/1",
+        "bench_index": index as u64,
+        "unit": "ns_per_op",
+        "kernels": Value::Object(kernels),
+        "speedups": Value::Object(speedups),
+        "resolver_cache": Value::Object(resolver_cache),
+    });
+    let path = format!("BENCH_{index}.json");
+    let text = serde_json::to_string_pretty(&report).expect("serialisable");
+    std::fs::write(&path, &text).expect("write bench report");
+    println!("{text}");
+    println!("\nwrote {path}");
+}

@@ -29,9 +29,51 @@ pub fn small_config(seed: u64) -> ScenarioConfig {
     ScenarioConfig::small(seed)
 }
 
+/// 1k synthetic SLD pairs shaped like the Figure 3 sweep: some identical,
+/// some shared-stem, mostly distinct. Shared by the criterion micro bench
+/// and the `bench_report` trajectory bin so both measure the same
+/// workload.
+pub fn domain_pairs() -> Vec<(String, String)> {
+    let stems = [
+        "bild",
+        "poalim",
+        "nourishingpursuits",
+        "cafemedia",
+        "autoscout",
+        "mercado",
+        "allegro",
+        "seznam",
+        "rakuten",
+        "yandex",
+    ];
+    (0..1000)
+        .map(|i| {
+            let a = stems[i % stems.len()];
+            let b = stems[(i * 7 + 3) % stems.len()];
+            match i % 4 {
+                0 => (a.to_string(), a.to_string()),
+                1 => (format!("auto{a}"), a.to_string()),
+                2 => (format!("{a}{i}"), format!("{b}{}", i / 2)),
+                _ => (a.to_string(), b.to_string()),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn domain_pairs_fixture_shape() {
+        let pairs = domain_pairs();
+        assert_eq!(pairs.len(), 1000);
+        assert!(pairs.iter().any(|(a, b)| a == b), "identical pairs present");
+        assert!(
+            pairs.iter().any(|(a, b)| a != b && a.contains(b.as_str())),
+            "shared-stem pairs present"
+        );
+    }
 
     #[test]
     fn bench_scenario_builds_and_is_paper_scale() {

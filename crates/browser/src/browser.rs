@@ -9,7 +9,7 @@
 use crate::context::{AccessRequest, PartitionKey};
 use crate::policy::{PolicyVerdict, StorageAccessPolicy, VendorPolicy};
 use crate::storage::{StorageArea, StorageEngine};
-use rws_domain::{DomainName, PublicSuffixList};
+use rws_domain::{DomainName, SiteResolver};
 use rws_model::RwsList;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -51,7 +51,7 @@ pub struct Browser {
     vendor: VendorPolicy,
     engine: StorageEngine,
     list: RwsList,
-    psl: PublicSuffixList,
+    resolver: SiteResolver,
     prompt_behaviour: PromptBehaviour,
     visited_first_party: BTreeSet<DomainName>,
     prompts_shown: usize,
@@ -61,11 +61,17 @@ impl Browser {
     /// Create a browser with the given vendor policy and RWS list. The list
     /// is only consulted by policies that use it (Chrome with RWS).
     pub fn new(vendor: VendorPolicy, list: RwsList) -> Browser {
+        Browser::with_resolver(vendor, list, SiteResolver::embedded())
+    }
+
+    /// Create a browser sharing a memoizing [`SiteResolver`] with other
+    /// components, so repeated hosts across browsers resolve from cache.
+    pub fn with_resolver(vendor: VendorPolicy, list: RwsList, resolver: SiteResolver) -> Browser {
         Browser {
             vendor,
             engine: StorageEngine::new(),
             list,
-            psl: PublicSuffixList::embedded(),
+            resolver,
             prompt_behaviour: PromptBehaviour::AlwaysDecline,
             visited_first_party: BTreeSet::new(),
             prompts_shown: 0,
@@ -88,9 +94,9 @@ impl Browser {
         self.prompts_shown
     }
 
-    /// The site (eTLD+1) for a host, using the embedded PSL.
+    /// The site (eTLD+1) for a host, via the memoized resolver.
     pub fn site_of(&self, host: &DomainName) -> DomainName {
-        self.psl.registrable_domain(host).unwrap_or_else(|_| host.clone())
+        self.resolver.site_or_self(host)
     }
 
     /// Visit a page first-party: records the interaction and returns the
@@ -110,7 +116,10 @@ impl Browser {
     /// `site` belongs to (the precondition for service-site auto-grants).
     fn has_interacted_with_set_of(&self, site: &DomainName) -> bool {
         match self.list.set_for(site) {
-            Some(set) => set.domains().iter().any(|d| self.visited_first_party.contains(d)),
+            Some(set) => set
+                .domains()
+                .iter()
+                .any(|d| self.visited_first_party.contains(d)),
             None => self.has_interacted_with(site),
         }
     }
@@ -118,7 +127,11 @@ impl Browser {
     /// Embed `embedded_host` as a third-party frame under `top_level_host`
     /// *without* calling the Storage Access API: the frame gets partitioned
     /// storage if the browser partitions, unpartitioned storage otherwise.
-    pub fn embed(&mut self, top_level_host: &DomainName, embedded_host: &DomainName) -> EmbedOutcome {
+    pub fn embed(
+        &mut self,
+        top_level_host: &DomainName,
+        embedded_host: &DomainName,
+    ) -> EmbedOutcome {
         let top = self.site_of(top_level_host);
         let embedded = self.site_of(embedded_host);
         if top == embedded || !self.vendor.partitions_by_default() {
@@ -209,8 +222,10 @@ mod tests {
 
     fn rws_list() -> RwsList {
         let mut set = RwsSet::new("https://timesinternet.in").unwrap();
-        set.add_associated("https://indiatimes.com", "Times Internet property").unwrap();
-        set.add_service("https://timesstatic.in", "asset host").unwrap();
+        set.add_associated("https://indiatimes.com", "Times Internet property")
+            .unwrap();
+        set.add_service("https://timesstatic.in", "asset host")
+            .unwrap();
         RwsList::from_sets(vec![set]).unwrap()
     }
 
@@ -227,7 +242,9 @@ mod tests {
         // Embedded on another site without storage access: partitioned jar.
         let outcome = browser.embed(&publisher, &tracker);
         assert_eq!(outcome, EmbedOutcome::Partitioned);
-        browser.frame_storage_mut(&publisher, &tracker, outcome).set("uid", "embedded-id");
+        browser
+            .frame_storage_mut(&publisher, &tracker, outcome)
+            .set("uid", "embedded-id");
 
         assert_eq!(
             browser.engine().unpartitioned(&tracker).unwrap().get("uid"),
@@ -251,7 +268,9 @@ mod tests {
         let outcome = browser.embed(&publisher, &tracker);
         assert!(outcome.has_unpartitioned_access());
         assert_eq!(
-            browser.frame_storage_mut(&publisher, &tracker, outcome).get("uid"),
+            browser
+                .frame_storage_mut(&publisher, &tracker, outcome)
+                .get("uid"),
             Some("global-id")
         );
     }
@@ -271,7 +290,9 @@ mod tests {
         assert_eq!(outcome, EmbedOutcome::Unpartitioned { prompted: false });
         assert_eq!(browser.prompts_shown(), 0);
         assert_eq!(
-            browser.frame_storage_mut(&primary, &associated, outcome).get("uid"),
+            browser
+                .frame_storage_mut(&primary, &associated, outcome)
+                .get("uid"),
             Some("user-42")
         );
     }

@@ -72,7 +72,9 @@ pub fn linkability_report(
     // The user has visited the tracker's own site at some point in the past
     // (it holds a first-party identifier) — the standard tracking setup of
     // Section 2.
-    browser.visit(tracker).set("uid", "tracker-global-id".to_string());
+    browser
+        .visit(tracker)
+        .set("uid", "tracker-global-id".to_string());
 
     let mut observations: Vec<TrackerObservation> = Vec::new();
     for (i, site) in top_level_sites.iter().enumerate() {
@@ -98,6 +100,24 @@ pub fn linkability_report(
     summarise(vendor, &observations, browser.prompts_shown())
 }
 
+/// Replay the same browsing trace under every vendor policy, one policy
+/// per thread — the paper's cross-vendor comparison (and the
+/// `ablation_policies` bench) in a single call.
+///
+/// Each policy gets its own [`Browser`], so the replays are fully
+/// independent; results come back in [`VendorPolicy::ALL`] order.
+pub fn linkability_by_vendor(
+    list: &RwsList,
+    top_level_sites: &[DomainName],
+    tracker: &DomainName,
+    prompt_behaviour: PromptBehaviour,
+) -> Vec<LinkabilityReport> {
+    let vendors = VendorPolicy::ALL;
+    rws_stats::parallel::par_map_coarse(&vendors, |_, vendor| {
+        linkability_report(*vendor, list, top_level_sites, tracker, prompt_behaviour)
+    })
+}
+
 /// Summarise a set of tracker observations into a report.
 pub fn summarise(
     vendor: VendorPolicy,
@@ -110,7 +130,10 @@ pub fn summarise(
     }
     let n = observations.len();
     let total_pairs = n * n.saturating_sub(1) / 2;
-    let linkable_pairs: usize = by_identifier.values().map(|&c| c * c.saturating_sub(1) / 2).sum();
+    let linkable_pairs: usize = by_identifier
+        .values()
+        .map(|&c| c * c.saturating_sub(1) / 2)
+        .sum();
     let largest = by_identifier.values().copied().max().unwrap_or(0);
     LinkabilityReport {
         vendor: vendor.name().to_string(),
@@ -134,7 +157,8 @@ mod tests {
     fn rws_list() -> RwsList {
         let mut set = RwsSet::new("https://bild.de").unwrap();
         set.add_associated("https://autobild.de", "sister").unwrap();
-        set.add_associated("https://computerbild.de", "sister").unwrap();
+        set.add_associated("https://computerbild.de", "sister")
+            .unwrap();
         RwsList::from_sets(vec![set]).unwrap()
     }
 
@@ -159,14 +183,21 @@ mod tests {
         );
         assert_eq!(report.sites_visited, 5);
         assert_eq!(report.total_pairs, 10);
-        assert_eq!(report.linkable_pairs, 10, "no partitioning links every pair");
+        assert_eq!(
+            report.linkable_pairs, 10,
+            "no partitioning links every pair"
+        );
         assert_eq!(report.largest_linked_cluster, 5);
         assert!((report.linkability() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn partitioning_browser_links_nothing_for_outside_tracker() {
-        for vendor in [VendorPolicy::Brave, VendorPolicy::Safari, VendorPolicy::ChromeWithRws] {
+        for vendor in [
+            VendorPolicy::Brave,
+            VendorPolicy::Safari,
+            VendorPolicy::ChromeWithRws,
+        ] {
             let report = linkability_report(
                 vendor,
                 &rws_list(),
@@ -175,7 +206,8 @@ mod tests {
                 PromptBehaviour::AlwaysDecline,
             );
             assert_eq!(
-                report.linkable_pairs, 0,
+                report.linkable_pairs,
+                0,
                 "{} should not link an unrelated tracker's visits",
                 vendor.name()
             );
@@ -189,7 +221,8 @@ mod tests {
         // exactly the within-set visits.
         let mut set = RwsSet::new("https://bild.de").unwrap();
         set.add_associated("https://autobild.de", "sister").unwrap();
-        set.add_associated("https://bildanalytics.de", "in-house analytics").unwrap();
+        set.add_associated("https://bildanalytics.de", "in-house analytics")
+            .unwrap();
         let list = RwsList::from_sets(vec![set]).unwrap();
         let sites = vec![dn("bild.de"), dn("autobild.de"), dn("independent-news.com")];
         let report = linkability_report(
@@ -243,11 +276,39 @@ mod tests {
     }
 
     #[test]
+    fn by_vendor_fan_out_matches_individual_reports() {
+        let list = rws_list();
+        let trace = trace();
+        let tracker = dn("tracker.example");
+        let all = linkability_by_vendor(&list, &trace, &tracker, PromptBehaviour::AlwaysDecline);
+        assert_eq!(all.len(), VendorPolicy::ALL.len());
+        for (vendor, parallel) in VendorPolicy::ALL.iter().zip(&all) {
+            let sequential = linkability_report(
+                *vendor,
+                &list,
+                &trace,
+                &tracker,
+                PromptBehaviour::AlwaysDecline,
+            );
+            assert_eq!(parallel, &sequential, "mismatch for {}", vendor.name());
+        }
+    }
+
+    #[test]
     fn summarise_counts_clusters() {
         let obs = vec![
-            TrackerObservation { top_level_site: dn("a.com"), identifier: "x".into() },
-            TrackerObservation { top_level_site: dn("b.com"), identifier: "x".into() },
-            TrackerObservation { top_level_site: dn("c.com"), identifier: "y".into() },
+            TrackerObservation {
+                top_level_site: dn("a.com"),
+                identifier: "x".into(),
+            },
+            TrackerObservation {
+                top_level_site: dn("b.com"),
+                identifier: "x".into(),
+            },
+            TrackerObservation {
+                top_level_site: dn("c.com"),
+                identifier: "y".into(),
+            },
         ];
         let report = summarise(VendorPolicy::ChromeWithRws, &obs, 0);
         assert_eq!(report.linkable_pairs, 1);

@@ -164,7 +164,8 @@ mod tests {
 
     fn list() -> RwsList {
         let mut set = RwsSet::new("https://bild.de").unwrap();
-        set.add_associated("https://autobild.de", "sister brand").unwrap();
+        set.add_associated("https://autobild.de", "sister brand")
+            .unwrap();
         set.add_service("https://bildstatic.de", "cdn").unwrap();
         RwsList::from_sets(vec![set]).unwrap()
     }
@@ -262,7 +263,12 @@ mod tests {
             VendorPolicy::ChromeLegacy.verdict(&request("anything.com", "tracker.com", false), &l),
             PolicyVerdict::AutoGrant
         );
-        for v in [VendorPolicy::ChromeWithRws, VendorPolicy::Firefox, VendorPolicy::Safari, VendorPolicy::Brave] {
+        for v in [
+            VendorPolicy::ChromeWithRws,
+            VendorPolicy::Firefox,
+            VendorPolicy::Safari,
+            VendorPolicy::Brave,
+        ] {
             assert!(v.partitions_by_default(), "{} should partition", v.name());
         }
     }

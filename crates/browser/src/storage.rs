@@ -88,7 +88,10 @@ impl StorageEngine {
 
     /// Number of distinct unpartitioned areas that hold at least one key.
     pub fn unpartitioned_area_count(&self) -> usize {
-        self.unpartitioned.values().filter(|a| !a.is_empty()).count()
+        self.unpartitioned
+            .values()
+            .filter(|a| !a.is_empty())
+            .count()
     }
 
     /// Number of distinct partitioned areas that hold at least one key.
@@ -132,8 +135,14 @@ mod tests {
         let key_b = PartitionKey::third_party(&dn("site-b.example"), &tracker);
         engine.partitioned_mut(&key_a).set("uid", "under-a");
         engine.partitioned_mut(&key_b).set("uid", "under-b");
-        assert_eq!(engine.partitioned(&key_a).unwrap().get("uid"), Some("under-a"));
-        assert_eq!(engine.partitioned(&key_b).unwrap().get("uid"), Some("under-b"));
+        assert_eq!(
+            engine.partitioned(&key_a).unwrap().get("uid"),
+            Some("under-a")
+        );
+        assert_eq!(
+            engine.partitioned(&key_b).unwrap().get("uid"),
+            Some("under-b")
+        );
         assert_eq!(engine.partitioned_area_count(), 2);
     }
 
@@ -142,8 +151,14 @@ mod tests {
         let mut engine = StorageEngine::new();
         engine.unpartitioned_mut(&dn("a.com")).set("uid", "1");
         engine.unpartitioned_mut(&dn("b.com")).set("uid", "2");
-        assert_eq!(engine.unpartitioned(&dn("a.com")).unwrap().get("uid"), Some("1"));
-        assert_eq!(engine.unpartitioned(&dn("b.com")).unwrap().get("uid"), Some("2"));
+        assert_eq!(
+            engine.unpartitioned(&dn("a.com")).unwrap().get("uid"),
+            Some("1")
+        );
+        assert_eq!(
+            engine.unpartitioned(&dn("b.com")).unwrap().get("uid"),
+            Some("2")
+        );
         assert!(engine.unpartitioned(&dn("c.com")).is_none());
         assert_eq!(engine.unpartitioned_area_count(), 2);
     }
@@ -152,12 +167,20 @@ mod tests {
     fn partitioned_and_unpartitioned_do_not_alias() {
         let mut engine = StorageEngine::new();
         let tracker = dn("tracker.example");
-        engine.unpartitioned_mut(&tracker).set("uid", "first-party-id");
+        engine
+            .unpartitioned_mut(&tracker)
+            .set("uid", "first-party-id");
         let key = PartitionKey::third_party(&dn("news.example"), &tracker);
         assert!(engine.partitioned(&key).is_none());
         engine.partitioned_mut(&key).set("uid", "partitioned-id");
-        assert_eq!(engine.unpartitioned(&tracker).unwrap().get("uid"), Some("first-party-id"));
-        assert_eq!(engine.partitioned(&key).unwrap().get("uid"), Some("partitioned-id"));
+        assert_eq!(
+            engine.unpartitioned(&tracker).unwrap().get("uid"),
+            Some("first-party-id")
+        );
+        assert_eq!(
+            engine.partitioned(&key).unwrap().get("uid"),
+            Some("partitioned-id")
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl CategoryDatabase {
 
     /// Look a domain up; unknown domains return [`SiteCategory::Unknown`].
     pub fn category_of(&self, domain: &DomainName) -> SiteCategory {
-        self.entries.get(domain).copied().unwrap_or(SiteCategory::Unknown)
+        self.entries
+            .get(domain)
+            .copied()
+            .unwrap_or(SiteCategory::Unknown)
     }
 
     /// True if the two domains share a category (both must be known).
@@ -116,8 +119,14 @@ mod tests {
         assert!(db.is_empty());
         db.insert(dn("news.example"), SiteCategory::NewsAndMedia);
         db.insert(dn("shop.example"), SiteCategory::Shopping);
-        assert_eq!(db.category_of(&dn("news.example")), SiteCategory::NewsAndMedia);
-        assert_eq!(db.category_of(&dn("missing.example")), SiteCategory::Unknown);
+        assert_eq!(
+            db.category_of(&dn("news.example")),
+            SiteCategory::NewsAndMedia
+        );
+        assert_eq!(
+            db.category_of(&dn("missing.example")),
+            SiteCategory::Unknown
+        );
         assert_eq!(db.len(), 2);
         assert!(!db.same_category(&dn("news.example"), &dn("shop.example")));
         assert!(!db.same_category(&dn("news.example"), &dn("missing.example")));

@@ -10,19 +10,55 @@ use rws_html::{class_set, text_content, title};
 const CATEGORY_KEYWORDS: &[(SiteCategory, &[&str])] = &[
     (
         SiteCategory::NewsAndMedia,
-        &["news", "breaking", "headlines", "politics", "editorial", "report", "press", "journal", "daily", "wire"],
+        &[
+            "news",
+            "breaking",
+            "headlines",
+            "politics",
+            "editorial",
+            "report",
+            "press",
+            "journal",
+            "daily",
+            "wire",
+        ],
     ),
     (
         SiteCategory::InformationTechnology,
-        &["software", "developer", "api", "platform", "release notes", "docs", "code", "tech", "cloud"],
+        &[
+            "software",
+            "developer",
+            "api",
+            "platform",
+            "release notes",
+            "docs",
+            "code",
+            "tech",
+            "cloud",
+        ],
     ),
     (
         SiteCategory::BusinessAndEconomy,
-        &["business", "finance", "investors", "markets", "services", "corporate", "economy"],
+        &[
+            "business",
+            "finance",
+            "investors",
+            "markets",
+            "services",
+            "corporate",
+            "economy",
+        ],
     ),
     (
         SiteCategory::SearchEnginesAndPortals,
-        &["search", "portal", "directory", "results", "explore", "query"],
+        &[
+            "search",
+            "portal",
+            "directory",
+            "results",
+            "explore",
+            "query",
+        ],
     ),
     (
         SiteCategory::SocialNetworking,
@@ -30,28 +66,46 @@ const CATEGORY_KEYWORDS: &[(SiteCategory, &[&str])] = &[
     ),
     (
         SiteCategory::AnalyticsInfrastructure,
-        &["analytics", "tracking", "measurement", "pixel", "tag", "cdn", "static", "endpoint"],
+        &[
+            "analytics",
+            "tracking",
+            "measurement",
+            "pixel",
+            "tag",
+            "cdn",
+            "static",
+            "endpoint",
+        ],
     ),
     (
         SiteCategory::Shopping,
-        &["shop", "cart", "checkout", "products", "free shipping", "store", "buy"],
+        &[
+            "shop",
+            "cart",
+            "checkout",
+            "products",
+            "free shipping",
+            "store",
+            "buy",
+        ],
     ),
     (
         SiteCategory::Entertainment,
-        &["entertainment", "stream", "movies", "music", "celebrity", "tickets"],
+        &[
+            "entertainment",
+            "stream",
+            "movies",
+            "music",
+            "celebrity",
+            "tickets",
+        ],
     ),
     (
         SiteCategory::Travel,
         &["travel", "hotel", "flight", "booking", "tourism"],
     ),
-    (
-        SiteCategory::Games,
-        &["games", "gaming", "play", "esports"],
-    ),
-    (
-        SiteCategory::AdultContent,
-        &["adult", "explicit", "mature"],
-    ),
+    (SiteCategory::Games, &["games", "gaming", "play", "esports"]),
+    (SiteCategory::AdultContent, &["adult", "explicit", "mature"]),
 ];
 
 /// A deterministic keyword classifier over page content.
@@ -138,11 +192,17 @@ mod tests {
         let c = KeywordClassifier::new();
         let news = r#"<html><head><title>Daily breaking news</title></head>
             <body><p>Breaking news and politics headlines. Editorial report.</p></body></html>"#;
-        assert_eq!(c.classify(&dn("somepaper.com"), news), SiteCategory::NewsAndMedia);
+        assert_eq!(
+            c.classify(&dn("somepaper.com"), news),
+            SiteCategory::NewsAndMedia
+        );
 
         let shop = r#"<html><head><title>Mega store</title></head>
             <body><div class="cart">Shop our products, add to cart, checkout with free shipping.</div></body></html>"#;
-        assert_eq!(c.classify(&dn("megastore.com"), shop), SiteCategory::Shopping);
+        assert_eq!(
+            c.classify(&dn("megastore.com"), shop),
+            SiteCategory::Shopping
+        );
 
         let analytics = r#"<html><body><code>tracking pixel tag analytics measurement endpoint</code></body></html>"#;
         assert_eq!(
@@ -154,7 +214,10 @@ mod tests {
     #[test]
     fn sparse_pages_are_unknown() {
         let c = KeywordClassifier::new();
-        assert_eq!(c.classify(&dn("mystery.com"), "<html><body>hello</body></html>"), SiteCategory::Unknown);
+        assert_eq!(
+            c.classify(&dn("mystery.com"), "<html><body>hello</body></html>"),
+            SiteCategory::Unknown
+        );
         assert_eq!(c.classify(&dn("empty.com"), ""), SiteCategory::Unknown);
     }
 
@@ -177,7 +240,8 @@ mod tests {
             for i in 0..10 {
                 let brand = Brand::generate(&mut rng);
                 let domain = dn(&format!("{}{}.com", brand.slug, i));
-                let html = rws_corpus::render_site(&domain, &brand, category, Language::English, &mut rng);
+                let html =
+                    rws_corpus::render_site(&domain, &brand, category, Language::English, &mut rng);
                 total += 1;
                 if classifier.classify(&domain, &html) == category {
                     correct += 1;
@@ -195,7 +259,12 @@ mod tests {
         let corpus = CorpusGenerator::new(CorpusConfig::small(5)).generate();
         let classifier = KeywordClassifier::new();
         let mut classified = 0usize;
-        for spec in corpus.sites.values().filter(|s| s.live && s.role != SiteRole::SetCctld).take(50) {
+        for spec in corpus
+            .sites
+            .values()
+            .filter(|s| s.live && s.role != SiteRole::SetCctld)
+            .take(50)
+        {
             let html = corpus.html_of(&spec.domain).unwrap();
             let _category = classifier.classify(&spec.domain, &html);
             classified += 1;

@@ -156,7 +156,10 @@ mod tests {
             let brand = Brand::generate(&mut rng);
             assert!(!brand.name.is_empty());
             assert!(!brand.slug.is_empty());
-            assert!(brand.slug.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(brand
+                .slug
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             assert!(brand.css_prefix().contains(&brand.palette));
         }
     }

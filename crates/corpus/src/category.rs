@@ -125,7 +125,10 @@ mod tests {
             assert_eq!(SiteCategory::from_label(c.label()), Some(c));
             assert_eq!(c.to_string(), c.label());
         }
-        assert_eq!(SiteCategory::from_label("NEWS AND MEDIA"), Some(SiteCategory::NewsAndMedia));
+        assert_eq!(
+            SiteCategory::from_label("NEWS AND MEDIA"),
+            Some(SiteCategory::NewsAndMedia)
+        );
         assert_eq!(SiteCategory::from_label("nonexistent"), None);
     }
 

@@ -20,19 +20,24 @@ use crate::category::SiteCategory;
 use crate::site::{Language, SiteRole, SiteSpec};
 use crate::template::{render_about_page, render_site};
 use crate::tranco::TrancoList;
-use rws_domain::DomainName;
+use rws_domain::{DomainName, SiteResolver};
 use rws_model::{RwsList, RwsSet, WellKnownFile};
 use rws_net::{SimulatedWeb, SiteHost, WELL_KNOWN_RWS_PATH};
+use rws_stats::parallel::par_map;
 use rws_stats::rng::{Rng, Xoshiro256StarStar};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Generic top-level domains used for primaries and distinct associated
 /// sites.
-const GENERIC_TLDS: &[&str] = &["com", "com", "com", "org", "net", "io", "co", "xyz", "site", "online", "news", "media"];
+const GENERIC_TLDS: &[&str] = &[
+    "com", "com", "com", "org", "net", "io", "co", "xyz", "site", "online", "news", "media",
+];
 
 /// Country-code suffixes used for ccTLD variants and non-English sites.
-const COUNTRY_SUFFIXES: &[&str] = &["de", "fr", "in", "ru", "br", "jp", "es", "it", "pl", "co.uk", "com.au", "nl", "se"];
+const COUNTRY_SUFFIXES: &[&str] = &[
+    "de", "fr", "in", "ru", "br", "jp", "es", "it", "pl", "co.uk", "com.au", "nl", "se",
+];
 
 /// Tunable parameters of the synthetic corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -217,6 +222,7 @@ impl CorpusGenerator {
     /// Generate the full corpus.
     pub fn generate(&self) -> Corpus {
         let cfg = self.config;
+        let resolver = SiteResolver::embedded();
         let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("corpus");
         let mut used_domains: HashSet<DomainName> = HashSet::new();
         let mut sites: BTreeMap<DomainName, SiteSpec> = BTreeMap::new();
@@ -233,7 +239,8 @@ impl CorpusGenerator {
                 Language::NonEnglish
             };
             let primary_category = pick_category(PRIMARY_CATEGORY_WEIGHTS, &mut rng);
-            let primary_domain = self.fresh_domain(&org.flagship.slug, language, &mut used_domains, &mut rng);
+            let primary_domain =
+                self.fresh_domain(&org.flagship.slug, language, &mut used_domains, &mut rng);
             let mut set = RwsSet::for_primary(primary_domain.clone());
             set.set_contact(format!("webmaster@{primary_domain}"));
 
@@ -269,7 +276,12 @@ impl CorpusGenerator {
                 let slug_choice = rng.next_f64();
                 let domain = if slug_choice < cfg.prob_identical_sld {
                     // Identical SLD, different (generic) TLD: poalim.xyz / poalim.site.
-                    self.fresh_domain_with_sld(&org.flagship.slug, language, &mut used_domains, &mut rng)
+                    self.fresh_domain_with_sld(
+                        &org.flagship.slug,
+                        language,
+                        &mut used_domains,
+                        &mut rng,
+                    )
                 } else if slug_choice < cfg.prob_identical_sld + cfg.prob_shared_stem {
                     // Shared stem: autobild.de alongside bild.de.
                     let stem_slug = format!("{}{}", brand_stem(&mut rng), org.flagship.slug);
@@ -280,7 +292,11 @@ impl CorpusGenerator {
                 };
                 set.add_associated(
                     &format!("https://{domain}"),
-                    &format!("Affiliated {} brand of {}", category.label(), org.flagship.organisation_name),
+                    &format!(
+                        "Affiliated {} brand of {}",
+                        category.label(),
+                        org.flagship.organisation_name
+                    ),
                 )
                 .expect("generated associated domains are unique");
                 sites.insert(
@@ -306,11 +322,18 @@ impl CorpusGenerator {
                         org.flagship.slug,
                         ["static", "cdn", "assets", "login"][s.min(3)]
                     );
-                    let domain =
-                        self.fresh_domain(&service_slug, Language::English, &mut used_domains, &mut rng);
+                    let domain = self.fresh_domain(
+                        &service_slug,
+                        Language::English,
+                        &mut used_domains,
+                        &mut rng,
+                    );
                     set.add_service(
                         &format!("https://{domain}"),
-                        &format!("Serving infrastructure for {} properties", org.flagship.name),
+                        &format!(
+                            "Serving infrastructure for {} properties",
+                            org.flagship.name
+                        ),
                     )
                     .expect("generated service domains are unique");
                     sites.insert(
@@ -340,7 +363,9 @@ impl CorpusGenerator {
                     }
                     let candidate = DomainName::parse(&format!(
                         "{}.{suffix}",
-                        primary_domain.second_level_label(&rws_domain::PublicSuffixList::embedded()).unwrap_or_else(|| org.flagship.slug.clone())
+                        resolver
+                            .second_level_label(&primary_domain)
+                            .unwrap_or_else(|| org.flagship.slug.clone())
                     ))
                     .expect("generated ccTLD domains are valid");
                     if used_domains.insert(candidate.clone()) {
@@ -404,13 +429,24 @@ impl CorpusGenerator {
         let tranco = TrancoList::from_ranked(tranco_entries);
 
         // --- Populate the simulated web ------------------------------------
-        for spec in sites.values() {
+        // Per-site work (template rendering dominates) is independent: each
+        // site draws from an rng stream derived from its own domain, so the
+        // hosts can be built in parallel and registered in order without
+        // changing a single output byte.
+        let specs: Vec<&SiteSpec> = sites.values().collect();
+        let hosts = par_map(&specs, |_, spec| {
             let mut host = SiteHost::for_domain(spec.domain.clone());
             if !spec.live {
                 host.set_offline(true);
             }
             let mut page_rng = rng.derive(spec.domain.as_str());
-            let html = render_site(&spec.domain, &spec.brand, spec.category, spec.language, &mut page_rng);
+            let html = render_site(
+                &spec.domain,
+                &spec.brand,
+                spec.category,
+                spec.language,
+                &mut page_rng,
+            );
             host.add_page("/", html);
             host.add_page(
                 "/about",
@@ -430,6 +466,9 @@ impl CorpusGenerator {
                     host.add_header(WELL_KNOWN_RWS_PATH, "X-Robots-Tag", "noindex");
                 }
             }
+            host
+        });
+        for host in hosts {
             web.register(host);
         }
 
@@ -502,7 +541,9 @@ impl CorpusGenerator {
 }
 
 fn brand_stem<R: Rng + ?Sized>(rng: &mut R) -> &'static str {
-    const STEMS: &[&str] = &["auto", "sport", "tech", "shop", "travel", "job", "immo", "finanz", "kino", "wetter"];
+    const STEMS: &[&str] = &[
+        "auto", "sport", "tech", "shop", "travel", "job", "immo", "finanz", "kino", "wetter",
+    ];
     STEMS[rng.range_usize(0, STEMS.len())]
 }
 
@@ -522,8 +563,14 @@ mod tests {
         assert_eq!(a.list.set_count(), b.list.set_count());
         assert_eq!(a.list.all_domains(), b.list.all_domains());
         assert_eq!(
-            a.tranco.iter().map(|e| e.domain.clone()).collect::<Vec<_>>(),
-            b.tranco.iter().map(|e| e.domain.clone()).collect::<Vec<_>>()
+            a.tranco
+                .iter()
+                .map(|e| e.domain.clone())
+                .collect::<Vec<_>>(),
+            b.tranco
+                .iter()
+                .map(|e| e.domain.clone())
+                .collect::<Vec<_>>()
         );
         // Pages are identical too.
         let d = a.list.all_domains()[0].clone();
@@ -573,7 +620,10 @@ mod tests {
         for set in c.list.sets() {
             // Only sets whose members are all live are expected to validate
             // cleanly (offline members legitimately fail the fetch check).
-            let all_live = set.domains().iter().all(|d| c.site(d).map(|s| s.live).unwrap_or(false));
+            let all_live = set
+                .domains()
+                .iter()
+                .all(|d| c.site(d).map(|s| s.live).unwrap_or(false));
             if all_live {
                 let report = validator.validate(set);
                 assert!(
@@ -591,7 +641,10 @@ mod tests {
         let c = CorpusGenerator::new(CorpusConfig::default()).generate();
         assert_eq!(c.list.set_count(), 41);
         let with_assoc = c.list.sets().filter(|s| s.associated_count() > 0).count() as f64 / 41.0;
-        assert!(with_assoc > 0.8, "share of sets with associated sites {with_assoc}");
+        assert!(
+            with_assoc > 0.8,
+            "share of sets with associated sites {with_assoc}"
+        );
         let total_assoc: usize = c.list.sets().map(|s| s.associated_count()).sum();
         let mean_assoc = total_assoc as f64 / 41.0;
         assert!(
@@ -602,8 +655,15 @@ mod tests {
         assert!(c.survey_eligible_members().len() >= 10);
         // And the majority of members should be non-English, as in the paper.
         let members = c.rws_member_sites();
-        let english = members.iter().filter(|s| s.language == Language::English).count();
-        assert!(english * 2 < members.len(), "{english}/{} English members", members.len());
+        let english = members
+            .iter()
+            .filter(|s| s.language == Language::English)
+            .count();
+        assert!(
+            english * 2 < members.len(),
+            "{english}/{} English members",
+            members.len()
+        );
     }
 
     #[test]
@@ -623,10 +683,16 @@ mod tests {
             let has_header = c
                 .web
                 .with_host(&spec.domain, |h| {
-                    h.headers_for("/").map(|hs| hs.contains("x-robots-tag")).unwrap_or(false)
+                    h.headers_for("/")
+                        .map(|hs| hs.contains("x-robots-tag"))
+                        .unwrap_or(false)
                 })
                 .unwrap();
-            assert!(has_header, "service site {} missing X-Robots-Tag", spec.domain);
+            assert!(
+                has_header,
+                "service site {} missing X-Robots-Tag",
+                spec.domain
+            );
         }
     }
 
@@ -646,7 +712,13 @@ mod tests {
                 }
             }
         }
-        assert!(total > 20, "expected a substantial number of associated sites, got {total}");
-        assert!(identical >= 1, "expected at least one identical-SLD associated site");
+        assert!(
+            total > 20,
+            "expected a substantial number of associated sites, got {total}"
+        );
+        assert!(
+            identical >= 1,
+            "expected at least one identical-SLD associated site"
+        );
     }
 }

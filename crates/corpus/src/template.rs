@@ -62,11 +62,23 @@ impl TemplateStyle {
     /// that the keyword classifier (rws-classify) has signal to work with.
     pub fn keywords(self) -> &'static [&'static str] {
         match self {
-            TemplateStyle::NewsPortal => &["breaking news", "politics", "headlines", "report", "editorial"],
-            TemplateStyle::TechProduct => &["software", "developer", "platform", "api", "release notes"],
-            TemplateStyle::Corporate => &["business", "finance", "investors", "markets", "services"],
+            TemplateStyle::NewsPortal => &[
+                "breaking news",
+                "politics",
+                "headlines",
+                "report",
+                "editorial",
+            ],
+            TemplateStyle::TechProduct => {
+                &["software", "developer", "platform", "api", "release notes"]
+            }
+            TemplateStyle::Corporate => {
+                &["business", "finance", "investors", "markets", "services"]
+            }
             TemplateStyle::Storefront => &["shop", "cart", "checkout", "products", "free shipping"],
-            TemplateStyle::Infrastructure => &["analytics", "tracking", "measurement", "tag", "pixel"],
+            TemplateStyle::Infrastructure => {
+                &["analytics", "tracking", "measurement", "tag", "pixel"]
+            }
             TemplateStyle::Portal => &["search", "portal", "directory", "results", "explore"],
             TemplateStyle::SocialFeed => &["friends", "share", "community", "follow", "feed"],
             TemplateStyle::Showcase => &["entertainment", "stream", "travel", "games", "tickets"],
@@ -149,12 +161,9 @@ pub fn render_site<R: Rng + ?Sized>(
     // keeps two pages of the *same* brand structurally identical while
     // pushing cross-brand structural similarity down towards the low values
     // the paper measures (Figure 4).
-    let brand_hash: u64 = brand
-        .slug
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-        });
+    let brand_hash: u64 = brand.slug.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    });
     let nav_links: String = (0..(2 + (brand_hash % 4) as usize))
         .map(|i| format!(r#"<a class="{prefix}-nav-link" href="/section{i}">Section {i}</a>"#))
         .collect();
@@ -203,7 +212,7 @@ pub fn render_site<R: Rng + ?Sized>(
   </footer>
 </body>
 </html>"#,
-        title = format!("{} | {}", brand.name, domain),
+        title = format_args!("{} | {}", brand.name, domain),
         brand_name = brand.name,
         org = brand.organisation_name,
         palette = brand.palette,
@@ -234,11 +243,27 @@ pub fn render_about_page(domain: &DomainName, brand: &Brand, language: Language)
 
 fn filler_sentence<R: Rng + ?Sized>(rng: &mut R, language: Language, keyword: &str) -> String {
     const EN_WORDS: &[&str] = &[
-        "today", "readers", "update", "latest", "coverage", "exclusive", "analysis", "weekly",
-        "guide", "insight",
+        "today",
+        "readers",
+        "update",
+        "latest",
+        "coverage",
+        "exclusive",
+        "analysis",
+        "weekly",
+        "guide",
+        "insight",
     ];
     const XX_WORDS: &[&str] = &[
-        "lorem", "ipsum", "dolor", "amet", "consectetur", "adipiscing", "elit", "sed", "tempor",
+        "lorem",
+        "ipsum",
+        "dolor",
+        "amet",
+        "consectetur",
+        "adipiscing",
+        "elit",
+        "sed",
+        "tempor",
         "incididunt",
     ];
     let words = match language {
@@ -268,8 +293,20 @@ mod tests {
         let brand = Brand::named("Northpost");
         let mut a = Xoshiro256StarStar::new(5);
         let mut b = Xoshiro256StarStar::new(5);
-        let pa = render_site(&dn("northpost.com"), &brand, SiteCategory::NewsAndMedia, Language::English, &mut a);
-        let pb = render_site(&dn("northpost.com"), &brand, SiteCategory::NewsAndMedia, Language::English, &mut b);
+        let pa = render_site(
+            &dn("northpost.com"),
+            &brand,
+            SiteCategory::NewsAndMedia,
+            Language::English,
+            &mut a,
+        );
+        let pb = render_site(
+            &dn("northpost.com"),
+            &brand,
+            SiteCategory::NewsAndMedia,
+            Language::English,
+            &mut b,
+        );
         assert_eq!(pa, pb);
     }
 
@@ -277,7 +314,13 @@ mod tests {
     fn page_contains_survey_cues() {
         let brand = Brand::named("Northpost");
         let mut rng = Xoshiro256StarStar::new(6);
-        let html = render_site(&dn("northpost.com"), &brand, SiteCategory::NewsAndMedia, Language::English, &mut rng);
+        let html = render_site(
+            &dn("northpost.com"),
+            &brand,
+            SiteCategory::NewsAndMedia,
+            Language::English,
+            &mut rng,
+        );
         assert!(html.contains("northpost.com"), "domain cue");
         assert!(html.contains("Northpost"), "brand cue");
         assert!(html.contains("site-header"), "header cue");
@@ -289,11 +332,31 @@ mod tests {
     fn same_brand_same_category_pages_are_similar() {
         let brand = Brand::named("Northpost");
         let mut rng = Xoshiro256StarStar::new(7);
-        let a = render_site(&dn("northpost.com"), &brand, SiteCategory::NewsAndMedia, Language::English, &mut rng);
-        let b = render_site(&dn("northpost.co.uk"), &brand, SiteCategory::NewsAndMedia, Language::English, &mut rng);
+        let a = render_site(
+            &dn("northpost.com"),
+            &brand,
+            SiteCategory::NewsAndMedia,
+            Language::English,
+            &mut rng,
+        );
+        let b = render_site(
+            &dn("northpost.co.uk"),
+            &brand,
+            SiteCategory::NewsAndMedia,
+            Language::English,
+            &mut rng,
+        );
         let sim = html_similarity(&a, &b, SimilarityWeights::default());
-        assert!(sim.style > 0.8, "style similarity {} should be high", sim.style);
-        assert!(sim.joint > 0.6, "joint similarity {} should be high", sim.joint);
+        assert!(
+            sim.style > 0.8,
+            "style similarity {} should be high",
+            sim.style
+        );
+        assert!(
+            sim.joint > 0.6,
+            "joint similarity {} should be high",
+            sim.joint
+        );
     }
 
     #[test]
@@ -301,18 +364,44 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(8);
         let news_brand = Brand::generate(&mut rng);
         let shop_brand = Brand::generate(&mut rng);
-        let a = render_site(&dn("somenews.com"), &news_brand, SiteCategory::NewsAndMedia, Language::English, &mut rng);
-        let b = render_site(&dn("someshop.com"), &shop_brand, SiteCategory::Shopping, Language::English, &mut rng);
+        let a = render_site(
+            &dn("somenews.com"),
+            &news_brand,
+            SiteCategory::NewsAndMedia,
+            Language::English,
+            &mut rng,
+        );
+        let b = render_site(
+            &dn("someshop.com"),
+            &shop_brand,
+            SiteCategory::Shopping,
+            Language::English,
+            &mut rng,
+        );
         let sim = html_similarity(&a, &b, SimilarityWeights::default());
-        assert!(sim.style < 0.2, "style similarity {} should be low", sim.style);
-        assert!(sim.joint < 0.3, "joint similarity {} should be low", sim.joint);
+        assert!(
+            sim.style < 0.2,
+            "style similarity {} should be low",
+            sim.style
+        );
+        assert!(
+            sim.joint < 0.3,
+            "joint similarity {} should be low",
+            sim.joint
+        );
     }
 
     #[test]
     fn non_english_pages_marked_and_filled() {
         let brand = Brand::named("Weltkurier");
         let mut rng = Xoshiro256StarStar::new(9);
-        let html = render_site(&dn("weltkurier.de"), &brand, SiteCategory::NewsAndMedia, Language::NonEnglish, &mut rng);
+        let html = render_site(
+            &dn("weltkurier.de"),
+            &brand,
+            SiteCategory::NewsAndMedia,
+            Language::NonEnglish,
+            &mut rng,
+        );
         assert!(html.contains("lang=\"xx\""));
         assert!(html.contains("lorem"));
     }

@@ -64,17 +64,26 @@ impl TrancoList {
 
     /// The rank of a domain, if it is ranked.
     pub fn rank_of(&self, domain: &DomainName) -> Option<usize> {
-        self.entries.iter().find(|e| &e.domain == domain).map(|e| e.rank)
+        self.entries
+            .iter()
+            .find(|e| &e.domain == domain)
+            .map(|e| e.rank)
     }
 
     /// Entries in the given category, in rank order.
     pub fn in_category(&self, category: SiteCategory) -> Vec<&TrancoEntry> {
-        self.entries.iter().filter(|e| e.category == category).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.category == category)
+            .collect()
     }
 
     /// Entries *not* in the given category, in rank order.
     pub fn outside_category(&self, category: SiteCategory) -> Vec<&TrancoEntry> {
-        self.entries.iter().filter(|e| e.category != category).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.category != category)
+            .collect()
     }
 }
 
@@ -119,7 +128,9 @@ mod tests {
         assert_eq!(news.len(), 2);
         assert_eq!(other.len(), 2);
         assert_eq!(news.len() + other.len(), list.len());
-        assert!(news.iter().all(|e| e.category == SiteCategory::NewsAndMedia));
+        assert!(news
+            .iter()
+            .all(|e| e.category == SiteCategory::NewsAndMedia));
     }
 
     #[test]

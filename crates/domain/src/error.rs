@@ -51,14 +51,20 @@ impl fmt::Display for DomainError {
         match self {
             DomainError::Empty => write!(f, "domain name is empty"),
             DomainError::TooLong { len } => {
-                write!(f, "domain name is {len} bytes, exceeding the 253-byte limit")
+                write!(
+                    f,
+                    "domain name is {len} bytes, exceeding the 253-byte limit"
+                )
             }
             DomainError::EmptyLabel => write!(f, "domain name contains an empty label"),
             DomainError::LabelTooLong { label } => {
                 write!(f, "label '{label}' exceeds 63 characters")
             }
             DomainError::InvalidCharacter { label, character } => {
-                write!(f, "label '{label}' contains invalid character '{character}'")
+                write!(
+                    f,
+                    "label '{label}' contains invalid character '{character}'"
+                )
             }
             DomainError::HyphenAtEdge { label } => {
                 write!(f, "label '{label}' starts or ends with a hyphen")

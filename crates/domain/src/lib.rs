@@ -33,10 +33,12 @@ pub mod error;
 pub mod levenshtein;
 pub mod name;
 pub mod psl;
+pub mod resolver;
 pub mod similarity;
 
 pub use error::DomainError;
-pub use levenshtein::{levenshtein, normalized_levenshtein};
+pub use levenshtein::{levenshtein, levenshtein_bounded, normalized_levenshtein};
 pub use name::DomainName;
 pub use psl::{PublicSuffixList, Rule, RuleKind};
+pub use resolver::{ResolverStats, SiteResolver};
 pub use similarity::{shared_prefix_len, shared_suffix_len, sld_similarity, SldComparison};

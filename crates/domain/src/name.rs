@@ -80,7 +80,10 @@ impl DomainName {
 
     /// The final (rightmost) label — the TLD in the DNS sense.
     pub fn tld_label(&self) -> &str {
-        self.name.rsplit('.').next().expect("non-empty by invariant")
+        self.name
+            .rsplit('.')
+            .next()
+            .expect("non-empty by invariant")
     }
 
     /// True if `self` equals `other` or is a DNS subdomain of it
@@ -168,7 +171,10 @@ mod tests {
     #[test]
     fn parse_rejects_empty_label() {
         assert_eq!(DomainName::parse("a..b"), Err(DomainError::EmptyLabel));
-        assert_eq!(DomainName::parse(".example.com"), Err(DomainError::EmptyLabel));
+        assert_eq!(
+            DomainName::parse(".example.com"),
+            Err(DomainError::EmptyLabel)
+        );
     }
 
     #[test]
@@ -250,7 +256,10 @@ mod tests {
     #[test]
     fn with_subdomain_builds_child() {
         let site = DomainName::parse("example.com").unwrap();
-        assert_eq!(site.with_subdomain("www").unwrap().as_str(), "www.example.com");
+        assert_eq!(
+            site.with_subdomain("www").unwrap().as_str(),
+            "www.example.com"
+        );
         assert!(site.with_subdomain("bad label").is_err());
     }
 

@@ -65,7 +65,11 @@ impl Rule {
         if labels.iter().any(|l| l.is_empty()) {
             return None;
         }
-        Some(Rule { labels, kind, icann })
+        Some(Rule {
+            labels,
+            kind,
+            icann,
+        })
     }
 
     /// Number of labels the rule matches against (wildcards count the `*`).
@@ -94,11 +98,69 @@ impl Rule {
     }
 }
 
+/// FNV-1a hasher for trie children: domain labels are short, and the DoS
+/// resistance of SipHash buys nothing against a fixed rule list, so a
+/// multiply-xor hash roughly halves per-label lookup cost.
+#[derive(Debug, Clone, Default)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// One node of the label trie the matcher walks. Children are keyed by
+/// label, walking the host's labels right to left.
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: HashMap<Box<str>, TrieNode, FnvBuild>,
+    /// A normal rule ends exactly at this node.
+    normal: bool,
+    /// A `*.<path>` wildcard rule hangs off this node: any single label
+    /// extends the public suffix by one.
+    wildcard: bool,
+    /// An exception rule (`!x.<path>`) ends exactly at this node.
+    exception: bool,
+}
+
 /// A parsed Public Suffix List supporting lookup of the public suffix and
 /// the registrable domain (eTLD+1) of a host.
+///
+/// Matching walks a label trie right to left — O(labels) per host with one
+/// hash lookup per label — instead of linearly scanning every rule that
+/// shares the host's TLD. The parsed [`Rule`]s are retained both for
+/// introspection and as the reference ("naive") matcher the property tests
+/// compare the trie against.
 #[derive(Debug, Clone)]
 pub struct PublicSuffixList {
-    /// Rules indexed by their right-most label for fast candidate lookup.
+    /// Label trie over all rules, walked right to left — the hot path.
+    root: TrieNode,
+    /// Rules indexed by their right-most label; retained as the reference
+    /// implementation (`suffix_label_count_naive`) and for `rules()`.
     by_tld: HashMap<String, Vec<Rule>>,
     rule_count: usize,
 }
@@ -107,8 +169,18 @@ impl PublicSuffixList {
     /// Build a list from already-parsed rules.
     pub fn from_rules(rules: Vec<Rule>) -> PublicSuffixList {
         let mut by_tld: HashMap<String, Vec<Rule>> = HashMap::new();
+        let mut root = TrieNode::default();
         let rule_count = rules.len();
         for rule in rules {
+            let mut node = &mut root;
+            for label in rule.labels.iter().rev() {
+                node = node.children.entry(label.as_str().into()).or_default();
+            }
+            match rule.kind {
+                RuleKind::Normal => node.normal = true,
+                RuleKind::Wildcard => node.wildcard = true,
+                RuleKind::Exception => node.exception = true,
+            }
             let tld = rule
                 .labels
                 .last()
@@ -116,7 +188,16 @@ impl PublicSuffixList {
                 .clone();
             by_tld.entry(tld).or_default().push(rule);
         }
-        PublicSuffixList { by_tld, rule_count }
+        PublicSuffixList {
+            root,
+            by_tld,
+            rule_count,
+        }
+    }
+
+    /// Every rule on the list, in arbitrary order.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.by_tld.values().flatten()
     }
 
     /// Parse PSL text. Lines between `// ===BEGIN PRIVATE DOMAINS===` and
@@ -156,6 +237,9 @@ impl PublicSuffixList {
     /// exception rules beat everything; otherwise the rule matching the most
     /// labels wins; if nothing matches, the implicit `*` rule (the bare TLD
     /// is a suffix) applies.
+    ///
+    /// This is the reference linear-scan matcher; lookups go through the
+    /// trie walk in [`suffix_label_count`](Self::suffix_label_count).
     fn prevailing_rule(&self, labels: &[&str]) -> Option<&Rule> {
         let tld = *labels.last()?;
         let candidates = self.by_tld.get(tld)?;
@@ -175,9 +259,11 @@ impl PublicSuffixList {
         best
     }
 
-    /// The number of labels in the public suffix of the given host labels,
-    /// applying the implicit `*` rule when nothing matches.
-    fn suffix_label_count(&self, labels: &[&str]) -> usize {
+    /// The reference implementation of public-suffix length, via the linear
+    /// rule scan. Exposed (hidden) so property tests can assert the trie
+    /// walk is exactly equivalent.
+    #[doc(hidden)]
+    pub fn suffix_label_count_naive(&self, labels: &[&str]) -> usize {
         match self.prevailing_rule(labels) {
             Some(rule) => match rule.kind {
                 RuleKind::Normal => rule.labels.len(),
@@ -189,6 +275,47 @@ impl PublicSuffixList {
             // Implicit "*" rule: the bare TLD is the public suffix.
             None => 1,
         }
+    }
+
+    /// The trie walk, exposed (hidden) for the equivalence property tests.
+    #[doc(hidden)]
+    pub fn suffix_label_count_trie(&self, labels: &[&str]) -> usize {
+        self.suffix_label_count(labels)
+    }
+
+    /// The number of labels in the public suffix of the given host labels,
+    /// applying the implicit `*` rule when nothing matches. Walks the label
+    /// trie right to left.
+    fn suffix_label_count(&self, labels: &[&str]) -> usize {
+        // Implicit `*` rule: with no explicit match the bare TLD is the
+        // public suffix.
+        let mut best = 1usize;
+        let mut node = &self.root;
+        let mut depth = 0usize;
+        for label in labels.iter().rev() {
+            match node.children.get(*label) {
+                Some(child) => {
+                    // An exception rule beats every other match; its public
+                    // suffix is the rule minus its left-most label.
+                    if child.exception {
+                        return depth;
+                    }
+                    depth += 1;
+                    // A wildcard on the parent also covers this label.
+                    if node.wildcard || child.normal {
+                        best = best.max(depth);
+                    }
+                    node = child;
+                }
+                None => {
+                    if node.wildcard {
+                        best = best.max(depth + 1);
+                    }
+                    return best;
+                }
+            }
+        }
+        best
     }
 
     /// The public suffix (eTLD) of a host, e.g. `co.uk` for
@@ -487,8 +614,14 @@ mod tests {
     #[test]
     fn simple_gtld_site() {
         let p = psl();
-        assert_eq!(p.registrable_domain(&dn("www.example.com")).unwrap(), dn("example.com"));
-        assert_eq!(p.registrable_domain(&dn("example.com")).unwrap(), dn("example.com"));
+        assert_eq!(
+            p.registrable_domain(&dn("www.example.com")).unwrap(),
+            dn("example.com")
+        );
+        assert_eq!(
+            p.registrable_domain(&dn("example.com")).unwrap(),
+            dn("example.com")
+        );
         assert_eq!(p.public_suffix(&dn("www.example.com")).unwrap(), dn("com"));
     }
 
@@ -499,8 +632,14 @@ mod tests {
             p.registrable_domain(&dn("shop.example.co.uk")).unwrap(),
             dn("example.co.uk")
         );
-        assert_eq!(p.public_suffix(&dn("shop.example.co.uk")).unwrap(), dn("co.uk"));
-        assert_eq!(p.second_level_label(&dn("shop.example.co.uk")).unwrap(), "example");
+        assert_eq!(
+            p.public_suffix(&dn("shop.example.co.uk")).unwrap(),
+            dn("co.uk")
+        );
+        assert_eq!(
+            p.second_level_label(&dn("shop.example.co.uk")).unwrap(),
+            "example"
+        );
     }
 
     #[test]
@@ -569,7 +708,8 @@ mod tests {
             dn("myproject.github.io")
         );
         assert_eq!(
-            p.registrable_domain(&dn("deep.myproject.github.io")).unwrap(),
+            p.registrable_domain(&dn("deep.myproject.github.io"))
+                .unwrap(),
             dn("myproject.github.io")
         );
         assert!(p.is_public_suffix(&dn("github.io")));

@@ -1,0 +1,230 @@
+//! A memoizing site resolver.
+//!
+//! Every layer of the pipeline keeps asking the same question about the
+//! same hosts: "what is this host's site (eTLD+1)?" — the browser on every
+//! visit and embed, the validation bot for every member of every submitted
+//! set, the analysis sweeps for every pair of the Figure 3 / Figure 4
+//! comparisons. [`SiteResolver`] wraps a [`PublicSuffixList`] with a
+//! concurrent memo table so each distinct host pays for trie matching and
+//! the site-name allocation exactly once.
+//!
+//! The resolver is `Send + Sync`; parallel sweeps share one instance.
+
+use crate::error::DomainError;
+use crate::name::DomainName;
+use crate::psl::PublicSuffixList;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A shared, memoizing wrapper around [`PublicSuffixList`].
+///
+/// Cloning is cheap and clones share the same cache.
+#[derive(Debug, Clone)]
+pub struct SiteResolver {
+    inner: Arc<ResolverInner>,
+}
+
+#[derive(Debug)]
+struct ResolverInner {
+    psl: PublicSuffixList,
+    cache: RwLock<HashMap<DomainName, Result<DomainName, DomainError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cache hit/miss counters, for observability and the perf acceptance
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that had to run the PSL matcher.
+    pub misses: u64,
+}
+
+impl SiteResolver {
+    /// Wrap a Public Suffix List.
+    pub fn new(psl: PublicSuffixList) -> SiteResolver {
+        SiteResolver {
+            inner: Arc::new(ResolverInner {
+                psl,
+                cache: RwLock::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A resolver over the embedded PSL snapshot.
+    pub fn embedded() -> SiteResolver {
+        SiteResolver::new(PublicSuffixList::embedded())
+    }
+
+    /// The wrapped Public Suffix List.
+    pub fn psl(&self) -> &PublicSuffixList {
+        &self.inner.psl
+    }
+
+    /// The registrable domain (eTLD+1, the "site") of a host, memoized.
+    pub fn registrable_domain(&self, host: &DomainName) -> Result<DomainName, DomainError> {
+        {
+            let cache = self.inner.cache.read().expect("resolver cache poisoned");
+            if let Some(result) = cache.get(host) {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return result.clone();
+            }
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.psl.registrable_domain(host);
+        let mut cache = self.inner.cache.write().expect("resolver cache poisoned");
+        cache.insert(host.clone(), result.clone());
+        result
+    }
+
+    /// True if two hosts belong to the same site.
+    pub fn same_site(&self, a: &DomainName, b: &DomainName) -> bool {
+        match (self.registrable_domain(a), self.registrable_domain(b)) {
+            (Ok(sa), Ok(sb)) => sa == sb,
+            _ => false,
+        }
+    }
+
+    /// The site of a host, or the host itself when it has no registrable
+    /// domain — the key browsers use for storage partitions.
+    pub fn site_or_self(&self, host: &DomainName) -> DomainName {
+        self.registrable_domain(host)
+            .unwrap_or_else(|_| host.clone())
+    }
+
+    /// True if the host is exactly an eTLD+1.
+    pub fn is_etld_plus_one(&self, host: &DomainName) -> bool {
+        match self.registrable_domain(host) {
+            Ok(site) => site == *host,
+            Err(_) => false,
+        }
+    }
+
+    /// The second-level label of the host's registrable domain.
+    pub fn second_level_label(&self, host: &DomainName) -> Option<String> {
+        let site = self.registrable_domain(host).ok()?;
+        Some(site.labels().first()?.to_string())
+    }
+
+    /// Cache hit/miss counters so far.
+    pub fn stats(&self) -> ResolverStats {
+        ResolverStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct hosts memoized.
+    pub fn cached_hosts(&self) -> usize {
+        self.inner
+            .cache
+            .read()
+            .expect("resolver cache poisoned")
+            .len()
+    }
+}
+
+impl Default for SiteResolver {
+    fn default() -> Self {
+        SiteResolver::embedded()
+    }
+}
+
+impl From<PublicSuffixList> for SiteResolver {
+    fn from(psl: PublicSuffixList) -> SiteResolver {
+        SiteResolver::new(psl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn memoizes_repeated_lookups() {
+        let resolver = SiteResolver::embedded();
+        let host = dn("deep.shop.example.co.uk");
+        let first = resolver.registrable_domain(&host).unwrap();
+        assert_eq!(first, dn("example.co.uk"));
+        for _ in 0..10 {
+            assert_eq!(resolver.registrable_domain(&host).unwrap(), first);
+        }
+        let stats = resolver.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 10);
+        assert_eq!(resolver.cached_hosts(), 1);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let resolver = SiteResolver::embedded();
+        let suffix = dn("co.uk");
+        assert!(resolver.registrable_domain(&suffix).is_err());
+        assert!(resolver.registrable_domain(&suffix).is_err());
+        let stats = resolver.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn agrees_with_the_unmemoized_psl() {
+        let resolver = SiteResolver::embedded();
+        let psl = PublicSuffixList::embedded();
+        for host in [
+            "example.com",
+            "www.example.com",
+            "a.b.kawasaki.jp",
+            "city.kawasaki.jp",
+            "www.ck",
+            "wombat.ck",
+            "myproject.github.io",
+            "co.uk",
+            "com",
+        ] {
+            let host = dn(host);
+            assert_eq!(
+                resolver.registrable_domain(&host),
+                psl.registrable_domain(&host),
+                "disagreement on {host}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_site_and_partition_key_helpers() {
+        let resolver = SiteResolver::embedded();
+        assert!(resolver.same_site(&dn("a.example.com"), &dn("b.example.com")));
+        assert!(!resolver.same_site(&dn("example.com"), &dn("example.org")));
+        assert_eq!(
+            resolver.site_or_self(&dn("www.example.com")),
+            dn("example.com")
+        );
+        // A bare suffix partitions as itself.
+        assert_eq!(resolver.site_or_self(&dn("co.uk")), dn("co.uk"));
+        assert!(resolver.is_etld_plus_one(&dn("example.com")));
+        assert!(!resolver.is_etld_plus_one(&dn("www.example.com")));
+        assert_eq!(
+            resolver.second_level_label(&dn("news.bild.de")).unwrap(),
+            "bild"
+        );
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let resolver = SiteResolver::embedded();
+        let clone = resolver.clone();
+        let _ = resolver.registrable_domain(&dn("shared.example.com"));
+        let _ = clone.registrable_domain(&dn("shared.example.com"));
+        assert_eq!(clone.stats().hits, 1);
+        assert_eq!(clone.stats().misses, 1);
+    }
+}

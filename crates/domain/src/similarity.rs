@@ -8,9 +8,10 @@
 //! into a single [`SldComparison`] record so the analysis layer and the
 //! SLD-similarity ablation bench can reuse them.
 
-use crate::levenshtein::{levenshtein, normalized_levenshtein};
+use crate::levenshtein::{levenshtein, levenshtein_bounded, normalized_levenshtein};
 use crate::name::DomainName;
 use crate::psl::PublicSuffixList;
+use crate::resolver::SiteResolver;
 use serde::{Deserialize, Serialize};
 
 /// Length of the longest common prefix of two strings, in characters.
@@ -67,6 +68,28 @@ impl SldComparison {
     ) -> Option<SldComparison> {
         let member_sld = psl.second_level_label(member)?;
         let primary_sld = psl.second_level_label(primary)?;
+        SldComparison::from_slds(member, primary, member_sld, primary_sld)
+    }
+
+    /// Like [`compute`](Self::compute), but resolving SLDs through a
+    /// memoizing [`SiteResolver`] — the form the Figure 3 sweep uses, where
+    /// the same primary appears in many pairs.
+    pub fn compute_cached(
+        member: &DomainName,
+        primary: &DomainName,
+        resolver: &SiteResolver,
+    ) -> Option<SldComparison> {
+        let member_sld = resolver.second_level_label(member)?;
+        let primary_sld = resolver.second_level_label(primary)?;
+        SldComparison::from_slds(member, primary, member_sld, primary_sld)
+    }
+
+    fn from_slds(
+        member: &DomainName,
+        primary: &DomainName,
+        member_sld: String,
+        primary_sld: String,
+    ) -> Option<SldComparison> {
         let edit_distance = levenshtein(&member_sld, &primary_sld);
         let normalized_distance = normalized_levenshtein(&member_sld, &primary_sld);
         let identical_sld = member_sld == primary_sld;
@@ -91,6 +114,25 @@ impl SldComparison {
     /// reliable signal; the ablation bench quantifies how unreliable.
     pub fn predicts_related(&self, max_edit_distance: usize) -> bool {
         self.identical_sld || self.shares_stem || self.edit_distance <= max_edit_distance
+    }
+
+    /// The threshold sweep's fast path: decide [`predicts_related`]
+    /// directly from two SLD strings without materialising a full
+    /// comparison, using [`levenshtein_bounded`] so the DP abandons as
+    /// soon as the distance provably exceeds the threshold.
+    ///
+    /// Exactly equivalent to
+    /// `SldComparison::compute(..).predicts_related(max_edit_distance)`
+    /// for hosts whose SLDs resolve to these strings.
+    pub fn predicts_related_slds(
+        member_sld: &str,
+        primary_sld: &str,
+        max_edit_distance: usize,
+    ) -> bool {
+        member_sld == primary_sld
+            || member_sld.contains(primary_sld)
+            || primary_sld.contains(member_sld)
+            || levenshtein_bounded(member_sld, primary_sld, max_edit_distance).is_some()
     }
 }
 
@@ -143,9 +185,8 @@ mod tests {
     #[test]
     fn comparison_distinct_slds() {
         let psl = PublicSuffixList::embedded();
-        let c =
-            SldComparison::compute(&dn("nourishingpursuits.com"), &dn("cafemedia.com"), &psl)
-                .unwrap();
+        let c = SldComparison::compute(&dn("nourishingpursuits.com"), &dn("cafemedia.com"), &psl)
+            .unwrap();
         assert!(!c.identical_sld);
         assert!(!c.shares_stem);
         assert!(c.edit_distance >= 13);

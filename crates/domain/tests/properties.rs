@@ -1,7 +1,20 @@
-//! Property-based tests for the domain substrate.
+//! Property-based tests for the domain substrate, including the
+//! optimized-kernel ≡ naive-oracle equivalences this workspace's perf work
+//! rests on:
+//!
+//! * `levenshtein` (ASCII fast path + prefix/suffix stripping + scratch
+//!   reuse) against the textbook DP, on random Unicode strings;
+//! * `levenshtein_bounded` against thresholding the exact distance;
+//! * the PSL label-trie matcher against the linear rule scan, on random
+//!   domains and on hosts built from every embedded rule;
+//! * the memoizing `SiteResolver` against direct PSL lookups.
 
 use proptest::prelude::*;
-use rws_domain::{levenshtein, normalized_levenshtein, DomainName, PublicSuffixList};
+use rws_domain::levenshtein::levenshtein_naive;
+use rws_domain::{
+    levenshtein, levenshtein_bounded, normalized_levenshtein, DomainName, PublicSuffixList,
+    SiteResolver, SldComparison,
+};
 
 /// Strategy producing syntactically valid domain labels.
 fn label_strategy() -> impl Strategy<Value = String> {
@@ -80,4 +93,119 @@ proptest! {
             prop_assert!(psl.same_site(&da, &da));
         }
     }
+
+    /// The optimized levenshtein equals the textbook DP on random Unicode
+    /// strings (mixed ASCII, accented Latin and CJK, so both the byte fast
+    /// path and the char path are exercised).
+    #[test]
+    fn levenshtein_fast_path_equals_naive(
+        a in "[a-zé-ö日-晚]{0,14}",
+        b in "[a-zé-ö日-晚]{0,14}",
+    ) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein_naive(&a, &b));
+    }
+
+    /// The bounded variant answers exactly `distance <= k ? Some(d) : None`.
+    #[test]
+    fn levenshtein_bounded_equals_thresholded_naive(
+        a in "[a-zé-ö]{0,14}",
+        b in "[a-zé-ö]{0,14}",
+        k in 0usize..12,
+    ) {
+        let exact = levenshtein_naive(&a, &b);
+        let bounded = levenshtein_bounded(&a, &b, k);
+        if exact <= k {
+            prop_assert_eq!(bounded, Some(exact));
+        } else {
+            prop_assert_eq!(bounded, None);
+        }
+    }
+
+    /// The SLD sweep's bounded fast path agrees with the full comparison.
+    #[test]
+    fn predicts_related_fast_path_agrees(a in domain_strategy(), b in domain_strategy(), k in 0usize..10) {
+        let psl = PublicSuffixList::embedded();
+        let da = DomainName::parse(&a).unwrap();
+        let db = DomainName::parse(&b).unwrap();
+        if let Some(cmp) = SldComparison::compute(&da, &db, &psl) {
+            let fast = SldComparison::predicts_related_slds(&cmp.member_sld, &cmp.primary_sld, k);
+            prop_assert_eq!(fast, cmp.predicts_related(k));
+        }
+    }
+
+    /// The PSL trie walk is exactly the linear rule scan, on random hosts
+    /// (including hosts under wildcard/exception TLDs).
+    #[test]
+    fn trie_matches_linear_scan_on_random_hosts(
+        labels in proptest::collection::vec("[a-z][a-z0-9]{0,6}", 1..5),
+        tld in "(com|co|uk|ck|jp|io|example|kawasaki)",
+    ) {
+        let psl = PublicSuffixList::embedded();
+        let mut parts = labels;
+        parts.push(tld);
+        let host = DomainName::parse(&parts.join(".")).unwrap();
+        let host_labels = host.labels();
+        prop_assert_eq!(
+            psl.suffix_label_count_trie(&host_labels),
+            psl.suffix_label_count_naive(&host_labels),
+            "trie and linear scan disagree on {}", host
+        );
+    }
+
+    /// The memoized resolver always answers like the PSL it wraps, hot or
+    /// cold.
+    #[test]
+    fn resolver_transparent_caching(names in proptest::collection::vec("[a-z][a-z0-9]{0,5}(\\.(com|co\\.uk|ck|github\\.io|example)){1,2}", 1..20)) {
+        let psl = PublicSuffixList::embedded();
+        let resolver = SiteResolver::new(PublicSuffixList::embedded());
+        // Query twice: first cold, then from cache.
+        for _ in 0..2 {
+            for name in &names {
+                let host = DomainName::parse(name).unwrap();
+                prop_assert_eq!(
+                    resolver.registrable_domain(&host),
+                    psl.registrable_domain(&host)
+                );
+            }
+        }
+        let stats = resolver.stats();
+        prop_assert!(stats.hits >= names.len() as u64, "repeats must be cache hits");
+    }
+}
+
+/// Every embedded rule, turned into concrete test hosts: the rule itself,
+/// the rule with one extra label, and with two extra labels. The trie and
+/// the linear scan must agree on all of them.
+#[test]
+fn trie_matches_linear_scan_on_every_embedded_rule() {
+    let psl = PublicSuffixList::embedded();
+    let mut checked = 0usize;
+    for rule in psl.rules() {
+        let base = rule.labels.join(".");
+        for host in [
+            base.clone(),
+            format!("alpha.{base}"),
+            format!("beta.alpha.{base}"),
+        ] {
+            let Ok(host) = DomainName::parse(&host) else {
+                continue;
+            };
+            let labels = host.labels();
+            assert_eq!(
+                psl.suffix_label_count_trie(&labels),
+                psl.suffix_label_count_naive(&labels),
+                "trie and linear scan disagree on {host}"
+            );
+            assert_eq!(
+                psl.registrable_domain(&host).is_ok(),
+                psl.suffix_label_count_naive(&labels) < labels.len() && labels.len() >= 2,
+                "registrable_domain consistency on {host}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked > 300,
+        "expected to exercise every embedded rule, got {checked}"
+    );
 }

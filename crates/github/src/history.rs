@@ -135,8 +135,7 @@ impl HistoryGenerator {
 
         // --- Successful submitters: every set on the list ------------------
         for set in corpus.list.sets() {
-            let failed_attempts =
-                rng.poisson(cfg.mean_failed_attempts_per_success) as usize;
+            let failed_attempts = rng.poisson(cfg.mean_failed_attempts_per_success) as usize;
             let mut dates: Vec<Date> = (0..=failed_attempts).map(|_| draw_date(&mut rng)).collect();
             dates.sort();
             // Failed attempts first, each with an injected defect.
@@ -154,8 +153,11 @@ impl HistoryGenerator {
             let primary = DomainName::parse(&format!("hopeful-submitter-{i}.com"))
                 .expect("generated primary is valid");
             let mut set = RwsSet::for_primary(primary);
-            set.add_associated(&format!("https://hopeful-partner-{i}.com"), "claimed affiliation")
-                .expect("generated members are unique");
+            set.add_associated(
+                &format!("https://hopeful-partner-{i}.com"),
+                "claimed affiliation",
+            )
+            .expect("generated members are unique");
             let attempts = 1 + rng.poisson((cfg.mean_attempts_per_failure - 1.0).max(0.0)) as usize;
             for _ in 0..attempts {
                 // These submitters never stand up .well-known files (their
@@ -216,7 +218,8 @@ fn apply_defect<R: Rng + ?Sized>(
         SubmissionDefect::WellKnownMismatch => {
             let mut broken = set.clone();
             let member = format!("misconfigured-{tag}.com");
-            let _ = broken.add_associated(&format!("https://{member}"), "points at the wrong primary");
+            let _ =
+                broken.add_associated(&format!("https://{member}"), "points at the wrong primary");
             if let Ok(mut host) = SiteHost::new(&member) {
                 host.add_page("/", "<html><body>misconfigured</body></html>");
                 let other = DomainName::parse("somebody-else.com").expect("static domain is valid");
@@ -263,9 +266,8 @@ fn apply_defect<R: Rng + ?Sized>(
             // A set with no members at all cannot miss a rationale; make sure
             // there is at least one member to flag.
             if broken.size() == 1 {
-                let _ = broken.add_associated_without_rationale(&format!(
-                    "https://undocumented-{tag}.com"
-                ));
+                let _ = broken
+                    .add_associated_without_rationale(&format!("https://undocumented-{tag}.com"));
             }
             broken
         }
@@ -347,7 +349,11 @@ mod tests {
         let (history, _) = small_history();
         let start = Date::new(2023, 3, 1);
         for pr in history.prs() {
-            assert!(pr.opened_at >= start, "{} opened before window", pr.opened_at);
+            assert!(
+                pr.opened_at >= start,
+                "{} opened before window",
+                pr.opened_at
+            );
             assert!(pr.resolved_at >= pr.opened_at);
             assert!(pr.opened_at.month_of() <= Month::new(2024, 3));
         }
@@ -383,7 +389,10 @@ mod tests {
         // Approved PRs take several days of manual review.
         let approved_days = history.days_to_process(PrState::Approved);
         let median = rws_stats::median(&approved_days).unwrap();
-        assert!((2.0..=12.0).contains(&median), "median approval days {median}");
+        assert!(
+            (2.0..=12.0).contains(&median),
+            "median approval days {median}"
+        );
     }
 
     #[test]

@@ -105,20 +105,28 @@ impl GovernancePipeline {
         let (state, delay_days) = if passes && !manual_reject {
             // Clean submission: merged after manual review.
             let mu = self.review.median_approval_days.max(0.5).ln();
-            let days = rng.log_normal(mu, self.review.approval_sigma).round().max(1.0);
+            let days = rng
+                .log_normal(mu, self.review.approval_sigma)
+                .round()
+                .max(1.0);
             (PrState::Approved, days as i64)
         } else if passes && manual_reject {
             // Maintainers rejected a technically-clean submission; these take
             // about as long as approvals to resolve.
             let mu = self.review.median_approval_days.max(0.5).ln();
-            let days = rng.log_normal(mu, self.review.approval_sigma).round().max(1.0);
+            let days = rng
+                .log_normal(mu, self.review.approval_sigma)
+                .round()
+                .max(1.0);
             (PrState::Closed, days as i64)
         } else {
             // Bot-rejected: usually closed the same day, sometimes lingering.
             if rng.chance(self.review.same_day_close_probability) {
                 (PrState::Closed, 0)
             } else {
-                let days = rng.exponential(1.0 / self.review.slow_close_mean_days).ceil() as i64;
+                let days = rng
+                    .exponential(1.0 / self.review.slow_close_mean_days)
+                    .ceil() as i64;
                 (PrState::Closed, days.clamp(1, 50))
             }
         };
@@ -133,7 +141,6 @@ impl GovernancePipeline {
             validation: Some(report),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -150,7 +157,8 @@ mod tests {
 
     fn valid_set_and_web() -> (RwsSet, SimulatedWeb) {
         let mut set = RwsSet::new("https://alpha-news.com").unwrap();
-        set.add_associated("https://alpha-sports.com", "sister brand").unwrap();
+        set.add_associated("https://alpha-sports.com", "sister brand")
+            .unwrap();
         let mut web = SimulatedWeb::new();
         for domain in ["alpha-news.com", "alpha-sports.com"] {
             let d = dn(domain);
@@ -182,7 +190,10 @@ mod tests {
         let pr = pipeline.process(&set, Date::new(2023, 6, 1), &mut rng);
         assert_eq!(pr.state, PrState::Approved);
         assert!(pr.cla_signed);
-        assert!(pr.days_to_process() >= 1, "manual review takes at least a day");
+        assert!(
+            pr.days_to_process() >= 1,
+            "manual review takes at least a day"
+        );
         assert!(pr.validation.unwrap().passed());
     }
 
@@ -190,7 +201,8 @@ mod tests {
     fn broken_submission_is_closed_with_bot_messages() {
         let (mut set, web) = valid_set_and_web();
         // Add a member that does not exist on the web at all.
-        set.add_associated("https://missing-member.com", "oops").unwrap();
+        set.add_associated("https://missing-member.com", "oops")
+            .unwrap();
         let mut pipeline = GovernancePipeline::with_review_model(
             web,
             ReviewModel {
@@ -237,7 +249,8 @@ mod tests {
     #[test]
     fn rejected_submissions_often_close_same_day() {
         let (mut set, web) = valid_set_and_web();
-        set.add_associated("https://never-registered.com", "broken").unwrap();
+        set.add_associated("https://never-registered.com", "broken")
+            .unwrap();
         let mut pipeline = GovernancePipeline::with_review_model(
             web,
             ReviewModel {
@@ -249,7 +262,11 @@ mod tests {
         let mut same_day = 0usize;
         let total = 200;
         for i in 0..total {
-            let pr = pipeline.process(&set, Date::new(2023, 6, 1).plus_days(i as i64 % 200), &mut rng);
+            let pr = pipeline.process(
+                &set,
+                Date::new(2023, 6, 1).plus_days(i as i64 % 200),
+                &mut rng,
+            );
             assert_eq!(pr.state, PrState::Closed);
             if pr.days_to_process() == 0 {
                 same_day += 1;

@@ -190,7 +190,14 @@ mod tests {
         DomainName::parse(s).unwrap()
     }
 
-    fn pr(number: usize, primary: &str, opened: &str, resolved: &str, state: PrState, issues: Vec<ValidationIssue>) -> PullRequest {
+    fn pr(
+        number: usize,
+        primary: &str,
+        opened: &str,
+        resolved: &str,
+        state: PrState,
+        issues: Vec<ValidationIssue>,
+    ) -> PullRequest {
         let outcome = if issues.is_empty() {
             ValidationOutcome::Passed
         } else {
@@ -214,7 +221,14 @@ mod tests {
 
     fn sample_history() -> PrHistory {
         PrHistory::new(vec![
-            pr(1, "alpha.com", "2023-03-05", "2023-03-10", PrState::Approved, vec![]),
+            pr(
+                1,
+                "alpha.com",
+                "2023-03-05",
+                "2023-03-10",
+                PrState::Approved,
+                vec![],
+            ),
             pr(
                 2,
                 "beta.com",
@@ -226,7 +240,14 @@ mod tests {
                     detail: "host not found".into(),
                 }],
             ),
-            pr(3, "beta.com", "2023-06-02", "2023-06-09", PrState::Approved, vec![]),
+            pr(
+                3,
+                "beta.com",
+                "2023-06-02",
+                "2023-06-09",
+                PrState::Approved,
+                vec![],
+            ),
             pr(
                 4,
                 "gamma.com",
@@ -234,7 +255,9 @@ mod tests {
                 "2024-01-25",
                 PrState::Closed,
                 vec![
-                    ValidationIssue::AssociatedSiteNotEtldPlusOne { site: dn("sub.gamma.com") },
+                    ValidationIssue::AssociatedSiteNotEtldPlusOne {
+                        site: dn("sub.gamma.com"),
+                    },
                     ValidationIssue::WellKnownUnfetchable {
                         site: dn("gamma.com"),
                         detail: "404".into(),

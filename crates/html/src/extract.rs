@@ -89,10 +89,17 @@ mod tests {
     #[test]
     fn class_set_collects_all_classes() {
         let classes = class_set(SAMPLE);
-        let expected: BTreeSet<String> = ["header", "brand-red", "site-title", "content", "article", "lead"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let expected: BTreeSet<String> = [
+            "header",
+            "brand-red",
+            "site-title",
+            "content",
+            "article",
+            "lead",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         assert_eq!(classes, expected);
     }
 

@@ -32,8 +32,9 @@ pub mod similarity;
 pub mod tokenizer;
 
 pub use extract::{class_set, tag_sequence, text_content, title};
-pub use shingle::{jaccard, shingles};
+pub use shingle::{hash_token, jaccard, jaccard_sorted, shingles, ShingleProfile};
 pub use similarity::{
-    html_similarity, structural_similarity, style_similarity, HtmlSimilarity, SimilarityWeights,
+    html_similarity, structural_similarity, style_similarity, DocumentProfile, HtmlSimilarity,
+    SimilarityWeights,
 };
 pub use tokenizer::{tokenize, Token};

@@ -10,7 +10,8 @@
 //!   library's default weighting `k = 0.3`.
 
 use crate::extract::{class_set, tag_sequence};
-use crate::shingle::{jaccard, shingles};
+use crate::shingle::{hash_token, jaccard, jaccard_sorted, shingles, ShingleProfile};
+use crate::tokenizer::{tokenize, Token};
 use serde::{Deserialize, Serialize};
 
 /// Weights and parameters for the joint similarity.
@@ -60,28 +61,132 @@ pub struct HtmlSimilarity {
     pub joint: f64,
 }
 
+/// A document's similarity features, extracted once and reused across every
+/// pairwise comparison: the hashed CSS-class set and the hashed tag-sequence
+/// shingle set.
+///
+/// The Figure 4 sweep compares every member against its primary; building a
+/// `DocumentProfile` per document first means each document is tokenized,
+/// shingled and hashed exactly once instead of once per pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentProfile {
+    /// Sorted, deduplicated hashes of the CSS classes used anywhere.
+    classes: Vec<u64>,
+    /// Rolling-hashed k-gram set over the opening-tag sequence.
+    shingle: ShingleProfile,
+}
+
+impl DocumentProfile {
+    /// Extract a profile in a single tokenizer pass.
+    pub fn new(html: &str, weights: SimilarityWeights) -> DocumentProfile {
+        weights
+            .validate()
+            .expect("invalid similarity weights supplied");
+        let mut tag_hashes = Vec::new();
+        let mut classes = Vec::new();
+        for token in tokenize(html) {
+            if let Token::Open {
+                name, attributes, ..
+            } = token
+            {
+                tag_hashes.push(hash_token(name.as_bytes()));
+                if let Some(class_attr) = attributes.get("class") {
+                    for class in class_attr.split_whitespace() {
+                        classes.push(hash_token(class.as_bytes()));
+                    }
+                }
+            }
+        }
+        classes.sort_unstable();
+        classes.dedup();
+        DocumentProfile {
+            classes,
+            shingle: ShingleProfile::from_token_hashes(&tag_hashes, weights.shingle_size),
+        }
+    }
+
+    /// Number of distinct CSS classes seen.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Style similarity against another profile.
+    pub fn style_similarity(&self, other: &DocumentProfile) -> f64 {
+        jaccard_sorted(&self.classes, &other.classes)
+    }
+
+    /// Structural similarity against another profile.
+    pub fn structural_similarity(&self, other: &DocumentProfile) -> f64 {
+        self.shingle.jaccard(&other.shingle)
+    }
+
+    /// All three metrics against another profile.
+    pub fn similarity(
+        &self,
+        other: &DocumentProfile,
+        weights: SimilarityWeights,
+    ) -> HtmlSimilarity {
+        weights
+            .validate()
+            .expect("invalid similarity weights supplied");
+        let style = self.style_similarity(other);
+        let structural = self.structural_similarity(other);
+        let joint =
+            weights.structural_weight * structural + (1.0 - weights.structural_weight) * style;
+        HtmlSimilarity {
+            style,
+            structural,
+            joint,
+        }
+    }
+}
+
 /// Style similarity: Jaccard similarity of the two documents' class sets.
 pub fn style_similarity(html_a: &str, html_b: &str) -> f64 {
-    let a = class_set(html_a);
-    let b = class_set(html_b);
-    jaccard(&a, &b)
+    let weights = SimilarityWeights::default();
+    DocumentProfile::new(html_a, weights).style_similarity(&DocumentProfile::new(html_b, weights))
 }
 
 /// Structural similarity: Jaccard similarity of k-shingles of the two
 /// documents' tag sequences.
 pub fn structural_similarity(html_a: &str, html_b: &str, shingle_size: usize) -> f64 {
-    let a = shingles(&tag_sequence(html_a), shingle_size);
-    let b = shingles(&tag_sequence(html_b), shingle_size);
-    jaccard(&a, &b)
+    let weights = SimilarityWeights {
+        shingle_size,
+        ..SimilarityWeights::default()
+    };
+    DocumentProfile::new(html_a, weights)
+        .structural_similarity(&DocumentProfile::new(html_b, weights))
 }
 
 /// Compute all three metrics for a pair of documents.
+///
+/// Convenience wrapper building both [`DocumentProfile`]s on the spot; the
+/// N×N sweeps precompute profiles instead.
 pub fn html_similarity(html_a: &str, html_b: &str, weights: SimilarityWeights) -> HtmlSimilarity {
     weights
         .validate()
         .expect("invalid similarity weights supplied");
-    let style = style_similarity(html_a, html_b);
-    let structural = structural_similarity(html_a, html_b, weights.shingle_size);
+    DocumentProfile::new(html_a, weights)
+        .similarity(&DocumentProfile::new(html_b, weights), weights)
+}
+
+/// The original owned-set implementation, kept as the oracle the property
+/// tests compare the hashed profiles against. Allocates heavily; not for
+/// hot paths.
+#[doc(hidden)]
+pub fn html_similarity_naive(
+    html_a: &str,
+    html_b: &str,
+    weights: SimilarityWeights,
+) -> HtmlSimilarity {
+    weights
+        .validate()
+        .expect("invalid similarity weights supplied");
+    let style = jaccard(&class_set(html_a), &class_set(html_b));
+    let structural = jaccard(
+        &shingles(&tag_sequence(html_a), weights.shingle_size),
+        &shingles(&tag_sequence(html_b), weights.shingle_size),
+    );
     let joint = weights.structural_weight * structural + (1.0 - weights.structural_weight) * style;
     HtmlSimilarity {
         style,
@@ -191,6 +296,36 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn profiles_match_naive_implementation() {
+        let weights = SimilarityWeights::default();
+        for (a, b) in [
+            (PAGE_A, PAGE_A),
+            (PAGE_A, PAGE_A2),
+            (PAGE_A, PAGE_B),
+            (PAGE_A2, PAGE_B),
+            (PAGE_A, ""),
+            ("", ""),
+        ] {
+            let fast = html_similarity(a, b, weights);
+            let naive = html_similarity_naive(a, b, weights);
+            assert!((fast.style - naive.style).abs() < 1e-12);
+            assert!((fast.structural - naive.structural).abs() < 1e-12);
+            assert!((fast.joint - naive.joint).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn profile_reuse_matches_direct_comparison() {
+        let weights = SimilarityWeights::default();
+        let pa = DocumentProfile::new(PAGE_A, weights);
+        let pb = DocumentProfile::new(PAGE_B, weights);
+        let via_profiles = pa.similarity(&pb, weights);
+        let direct = html_similarity(PAGE_A, PAGE_B, weights);
+        assert_eq!(via_profiles, direct);
+        assert!(pa.class_count() > 0);
     }
 
     #[test]

@@ -173,9 +173,7 @@ fn parse_tag_body(body: &str) -> (String, BTreeMap<String, String>, bool) {
                     None => (q.to_string(), ""),
                 }
             } else {
-                let end = after_eq
-                    .find(char::is_whitespace)
-                    .unwrap_or(after_eq.len());
+                let end = after_eq.find(char::is_whitespace).unwrap_or(after_eq.len());
                 (after_eq[..end].to_string(), &after_eq[end..])
             };
             attributes.insert(attr_name, value);
@@ -214,7 +212,9 @@ mod tests {
     fn parses_attributes_quoted_and_unquoted() {
         let tokens = tokenize(r#"<div class="nav main" id=content data-x='1' hidden>x</div>"#);
         match &tokens[0] {
-            Token::Open { name, attributes, .. } => {
+            Token::Open {
+                name, attributes, ..
+            } => {
                 assert_eq!(name, "div");
                 assert_eq!(attributes.get("class").unwrap(), "nav main");
                 assert_eq!(attributes.get("id").unwrap(), "content");
@@ -229,7 +229,9 @@ mod tests {
     fn tag_names_and_attribute_names_lowercased() {
         let tokens = tokenize(r#"<DIV CLASS="Big">x</DIV>"#);
         match &tokens[0] {
-            Token::Open { name, attributes, .. } => {
+            Token::Open {
+                name, attributes, ..
+            } => {
                 assert_eq!(name, "div");
                 // Attribute values keep their case.
                 assert_eq!(attributes.get("class").unwrap(), "Big");

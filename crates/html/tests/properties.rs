@@ -7,13 +7,19 @@ use std::collections::BTreeSet;
 
 /// Strategy producing small, nested, well-formed HTML snippets.
 fn html_strategy() -> impl Strategy<Value = String> {
-    let leaf = ("[a-z]{1,8}", proptest::option::of("[a-z]{1,6}( [a-z]{1,6}){0,2}"))
+    let leaf = (
+        "[a-z]{1,8}",
+        proptest::option::of("[a-z]{1,6}( [a-z]{1,6}){0,2}"),
+    )
         .prop_map(|(text, class)| match class {
             Some(c) => format!(r#"<p class="{c}">{text}</p>"#),
             None => format!("<p>{text}</p>"),
         });
     proptest::collection::vec(leaf, 0..10).prop_map(|parts| {
-        format!("<html><body><div class=\"wrap\">{}</div></body></html>", parts.join(""))
+        format!(
+            "<html><body><div class=\"wrap\">{}</div></body></html>",
+            parts.join("")
+        )
     })
 }
 
@@ -71,6 +77,54 @@ proptest! {
         prop_assert_eq!(jaccard(&sa, &sa), 1.0);
         // Number of shingles never exceeds the sequence length.
         prop_assert!(sa.len() <= seq_a.len().max(1));
+    }
+
+    /// Hashed shingle profiles reproduce the owned-set Jaccard exactly, on
+    /// random tag sequences and every shingle size.
+    #[test]
+    fn hashed_profile_equals_btreeset_jaccard(
+        seq_a in proptest::collection::vec("[a-z]{1,5}", 0..40),
+        seq_b in proptest::collection::vec("[a-z]{1,5}", 0..40),
+        k in 1usize..7,
+    ) {
+        use rws_html::ShingleProfile;
+        let naive = jaccard(&shingles(&seq_a, k), &shingles(&seq_b, k));
+        let pa = ShingleProfile::from_items(&seq_a, k);
+        let pb = ShingleProfile::from_items(&seq_b, k);
+        prop_assert!((pa.jaccard(&pb) - naive).abs() < 1e-12,
+            "hashed {} vs naive {} on {:?} / {:?} k={}", pa.jaccard(&pb), naive, seq_a, seq_b, k);
+        // Shingle counts agree with the owned-set representation too.
+        prop_assert_eq!(pa.len(), shingles(&seq_a, k).len());
+    }
+
+    /// The profile-based similarity pipeline equals the owned-set oracle on
+    /// generated documents.
+    #[test]
+    fn profile_similarity_equals_naive(a in html_strategy(), b in html_strategy()) {
+        use rws_html::similarity::html_similarity_naive;
+        let weights = SimilarityWeights::default();
+        let fast = html_similarity(&a, &b, weights);
+        let naive = html_similarity_naive(&a, &b, weights);
+        prop_assert!((fast.style - naive.style).abs() < 1e-12);
+        prop_assert!((fast.structural - naive.structural).abs() < 1e-12);
+        prop_assert!((fast.joint - naive.joint).abs() < 1e-12);
+    }
+
+    /// Precomputed profiles reused across pairs give the same answers as
+    /// fresh per-pair computation (the Figure 4 sweep's reuse pattern).
+    #[test]
+    fn profile_reuse_is_sound(docs in proptest::collection::vec(html_strategy(), 2..5)) {
+        use rws_html::DocumentProfile;
+        let weights = SimilarityWeights::default();
+        let profiles: Vec<DocumentProfile> =
+            docs.iter().map(|d| DocumentProfile::new(d, weights)).collect();
+        for i in 0..docs.len() {
+            for j in 0..docs.len() {
+                let reused = profiles[i].similarity(&profiles[j], weights);
+                let fresh = html_similarity(&docs[i], &docs[j], weights);
+                prop_assert_eq!(reused, fresh);
+            }
+        }
     }
 
     /// Class extraction returns exactly the classes present in generated HTML.

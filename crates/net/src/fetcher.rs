@@ -371,9 +371,12 @@ mod tests {
     #[test]
     fn offline_host_refuses_connection() {
         let mut web = web_with_example();
-        web.update_host(&rws_domain::DomainName::parse("example.com").unwrap(), |h| {
-            h.set_offline(true);
-        });
+        web.update_host(
+            &rws_domain::DomainName::parse("example.com").unwrap(),
+            |h| {
+                h.set_offline(true);
+            },
+        );
         let fetcher = Fetcher::new(web);
         let err = fetcher
             .get(&Url::parse("https://example.com/").unwrap())

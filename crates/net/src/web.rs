@@ -116,13 +116,15 @@ impl SiteHost {
 
     /// Serve an HTML page at `path`.
     pub fn add_page<S: Into<String>>(&mut self, path: &str, html: S) -> &mut Self {
-        self.pages.insert(path.to_string(), PageContent::Html(html.into()));
+        self.pages
+            .insert(path.to_string(), PageContent::Html(html.into()));
         self
     }
 
     /// Serve a JSON document at `path`.
     pub fn add_json<S: Into<String>>(&mut self, path: &str, json: S) -> &mut Self {
-        self.pages.insert(path.to_string(), PageContent::Json(json.into()));
+        self.pages
+            .insert(path.to_string(), PageContent::Json(json.into()));
         self
     }
 
@@ -237,11 +239,7 @@ impl SimulatedWeb {
     }
 
     /// Mutate a host's definition in place (e.g. take it offline mid-run).
-    pub fn update_host(
-        &mut self,
-        host: &DomainName,
-        f: impl FnOnce(&mut SiteHost),
-    ) -> bool {
+    pub fn update_host(&mut self, host: &DomainName, f: impl FnOnce(&mut SiteHost)) -> bool {
         match self.inner.write().get_mut(host) {
             Some(h) => {
                 f(h);

@@ -48,7 +48,10 @@ impl fmt::Display for SetError {
                 write!(f, "domain '{domain}' appears in more than one set")
             }
             SetError::UnknownCctldBase { base } => {
-                write!(f, "ccTLD variants declared for '{base}', which is not a set member")
+                write!(
+                    f,
+                    "ccTLD variants declared for '{base}', which is not a set member"
+                )
             }
             SetError::MalformedJson { reason } => {
                 write!(f, "malformed Related Website Sets JSON: {reason}")

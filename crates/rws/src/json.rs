@@ -71,12 +71,12 @@ pub fn set_from_json(value: &Value) -> Result<RwsSet, SetError> {
     let obj = value.as_object().ok_or_else(|| SetError::MalformedJson {
         reason: "set entry is not a JSON object".to_string(),
     })?;
-    let primary = obj
-        .get("primary")
-        .and_then(Value::as_str)
-        .ok_or_else(|| SetError::MalformedJson {
-            reason: "set entry is missing the 'primary' string".to_string(),
-        })?;
+    let primary =
+        obj.get("primary")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SetError::MalformedJson {
+                reason: "set entry is missing the 'primary' string".to_string(),
+            })?;
     let mut set = RwsSet::new(primary)?;
     if let Some(contact) = obj.get("contact").and_then(Value::as_str) {
         set.set_contact(contact);
@@ -152,9 +152,11 @@ pub fn list_from_json(value: &Value) -> Result<RwsList, SetError> {
     let sets_value = value.get("sets").ok_or_else(|| SetError::MalformedJson {
         reason: "top-level 'sets' array is missing".to_string(),
     })?;
-    let arr = sets_value.as_array().ok_or_else(|| SetError::MalformedJson {
-        reason: "'sets' is not an array".to_string(),
-    })?;
+    let arr = sets_value
+        .as_array()
+        .ok_or_else(|| SetError::MalformedJson {
+            reason: "'sets' is not an array".to_string(),
+        })?;
     let mut sets = Vec::with_capacity(arr.len());
     for entry in arr {
         sets.push(set_from_json(entry)?);
@@ -246,7 +248,10 @@ mod tests {
         assert!(list_from_json_str("{}").is_err());
         assert!(list_from_json_str(r#"{"sets": 4}"#).is_err());
         assert!(list_from_json_str(r#"{"sets": [{"associatedSites": []}]}"#).is_err());
-        assert!(list_from_json_str(r#"{"sets": [{"primary": "https://a.com", "associatedSites": [5]}]}"#).is_err());
+        assert!(list_from_json_str(
+            r#"{"sets": [{"primary": "https://a.com", "associatedSites": [5]}]}"#
+        )
+        .is_err());
         assert!(
             list_from_json_str(r#"{"sets": [{"primary": "https://a.com", "ccTLDs": {"https://other.com": ["https://other.de"]}}]}"#)
                 .is_err(),

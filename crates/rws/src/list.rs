@@ -86,8 +86,7 @@ impl RwsList {
 
     /// The set whose primary is the given domain, if any.
     pub fn set_with_primary(&self, primary: &DomainName) -> Option<&RwsSet> {
-        self.set_for(primary)
-            .filter(|set| set.primary() == primary)
+        self.set_for(primary).filter(|set| set.primary() == primary)
     }
 
     /// The role a domain plays in the list, if it is a member of any set.
@@ -199,9 +198,9 @@ mod tests {
         let list = sample_list();
         let pairs = list.member_primary_pairs();
         assert_eq!(pairs.len(), 4);
-        assert!(pairs
-            .iter()
-            .any(|(p, m, r)| p == &dn("ya.ru") && m == &dn("yastatic.net") && *r == MemberRole::Service));
+        assert!(pairs.iter().any(|(p, m, r)| p == &dn("ya.ru")
+            && m == &dn("yastatic.net")
+            && *r == MemberRole::Service));
         assert!(pairs.iter().all(|(p, m, _)| p != m));
     }
 

@@ -153,7 +153,10 @@ impl RwsSet {
 
     /// Add an associated site without a rationale (invalid per the
     /// guidelines, but representable so the validator can flag it).
-    pub fn add_associated_without_rationale(&mut self, domain: &str) -> Result<&mut Self, SetError> {
+    pub fn add_associated_without_rationale(
+        &mut self,
+        domain: &str,
+    ) -> Result<&mut Self, SetError> {
         let d = parse_member(domain)?;
         self.check_not_member(&d)?;
         self.associated.push((d, None));
@@ -359,7 +362,10 @@ mod tests {
             RwsSet::new("https://example.com/").unwrap().primary(),
             &dn("example.com")
         );
-        assert_eq!(RwsSet::new("example.com").unwrap().primary(), &dn("example.com"));
+        assert_eq!(
+            RwsSet::new("example.com").unwrap().primary(),
+            &dn("example.com")
+        );
     }
 
     #[test]
@@ -372,10 +378,22 @@ mod tests {
     #[test]
     fn roles_and_membership() {
         let set = times_internet();
-        assert_eq!(set.role_of(&dn("timesinternet.in")), Some(MemberRole::Primary));
-        assert_eq!(set.role_of(&dn("indiatimes.com")), Some(MemberRole::Associated));
-        assert_eq!(set.role_of(&dn("timesstatic.in")), Some(MemberRole::Service));
-        assert_eq!(set.role_of(&dn("indiatimes.co.uk")), Some(MemberRole::Cctld));
+        assert_eq!(
+            set.role_of(&dn("timesinternet.in")),
+            Some(MemberRole::Primary)
+        );
+        assert_eq!(
+            set.role_of(&dn("indiatimes.com")),
+            Some(MemberRole::Associated)
+        );
+        assert_eq!(
+            set.role_of(&dn("timesstatic.in")),
+            Some(MemberRole::Service)
+        );
+        assert_eq!(
+            set.role_of(&dn("indiatimes.co.uk")),
+            Some(MemberRole::Cctld)
+        );
         assert_eq!(set.role_of(&dn("unrelated.com")), None);
         assert!(set.contains(&dn("indiatimes.com")));
         assert!(!set.contains(&dn("unrelated.com")));
@@ -415,7 +433,10 @@ mod tests {
         set.add_cctld_variants("https://example.com", &["https://example.de"])
             .unwrap();
         assert_eq!(set.cctld_count(), 1);
-        assert_eq!(set.cctld_base_of(&dn("example.de")), Some(&dn("example.com")));
+        assert_eq!(
+            set.cctld_base_of(&dn("example.de")),
+            Some(&dn("example.com"))
+        );
     }
 
     #[test]
@@ -427,7 +448,8 @@ mod tests {
         );
         assert_eq!(set.rationale_for(&dn("timesinternet.in")), None);
         let mut set2 = RwsSet::new("https://a.com").unwrap();
-        set2.add_associated_without_rationale("https://b.com").unwrap();
+        set2.add_associated_without_rationale("https://b.com")
+            .unwrap();
         assert_eq!(set2.rationale_for(&dn("b.com")), None);
     }
 
@@ -437,7 +459,10 @@ mod tests {
         let members = set.members();
         assert_eq!(members.len(), 4);
         assert_eq!(members[0].role, MemberRole::Primary);
-        let cctld = members.iter().find(|m| m.role == MemberRole::Cctld).unwrap();
+        let cctld = members
+            .iter()
+            .find(|m| m.role == MemberRole::Cctld)
+            .unwrap();
         assert_eq!(cctld.cctld_base, Some(dn("indiatimes.com")));
         assert_eq!(MemberRole::Cctld.label(), "ccTLD");
         assert_eq!(MemberRole::Associated.label(), "associated");

@@ -188,7 +188,8 @@ mod tests {
                     .unwrap();
             }
             if with_service {
-                set.add_service(&format!("https://service{i}.com"), "cdn").unwrap();
+                set.add_service(&format!("https://service{i}.com"), "cdn")
+                    .unwrap();
             }
             sets.push(set);
         }
@@ -221,23 +222,44 @@ mod tests {
     #[test]
     fn series_is_sorted_and_queryable() {
         let mut series = SnapshotSeries::new();
-        series.push(ListSnapshot::new(Date::new(2024, 1, 15), list_with(3, 1, false)));
-        series.push(ListSnapshot::new(Date::new(2023, 6, 1), list_with(1, 1, false)));
-        series.push(ListSnapshot::new(Date::new(2023, 10, 1), list_with(2, 1, false)));
+        series.push(ListSnapshot::new(
+            Date::new(2024, 1, 15),
+            list_with(3, 1, false),
+        ));
+        series.push(ListSnapshot::new(
+            Date::new(2023, 6, 1),
+            list_with(1, 1, false),
+        ));
+        series.push(ListSnapshot::new(
+            Date::new(2023, 10, 1),
+            list_with(2, 1, false),
+        ));
         assert_eq!(series.len(), 3);
         let dates: Vec<Date> = series.iter().map(|s| s.date).collect();
         assert!(dates.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(series.latest().unwrap().list.set_count(), 3);
-        assert_eq!(series.at(Date::new(2023, 8, 1)).unwrap().list.set_count(), 1);
-        assert_eq!(series.at(Date::new(2023, 12, 1)).unwrap().list.set_count(), 2);
+        assert_eq!(
+            series.at(Date::new(2023, 8, 1)).unwrap().list.set_count(),
+            1
+        );
+        assert_eq!(
+            series.at(Date::new(2023, 12, 1)).unwrap().list.set_count(),
+            2
+        );
         assert!(series.at(Date::new(2023, 1, 1)).is_none());
     }
 
     #[test]
     fn composition_by_month_steps_up() {
         let mut series = SnapshotSeries::new();
-        series.push(ListSnapshot::new(Date::new(2023, 2, 10), list_with(1, 2, false)));
-        series.push(ListSnapshot::new(Date::new(2023, 4, 10), list_with(3, 2, true)));
+        series.push(ListSnapshot::new(
+            Date::new(2023, 2, 10),
+            list_with(1, 2, false),
+        ));
+        series.push(ListSnapshot::new(
+            Date::new(2023, 4, 10),
+            list_with(3, 2, true),
+        ));
         let comp = series.composition_by_month(Month::new(2023, 1), Month::new(2023, 5));
         // January: no snapshot yet → zero.
         assert_eq!(comp.associated.get(Month::new(2023, 1)), Some(0.0));

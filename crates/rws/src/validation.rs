@@ -22,7 +22,7 @@
 
 use crate::set::RwsSet;
 use crate::well_known::WellKnownFile;
-use rws_domain::{DomainName, PublicSuffixList};
+use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
 use rws_net::{well_known_path, FetchPolicy, Fetcher, SimulatedWeb, Url};
 use serde::{Deserialize, Serialize};
 
@@ -84,9 +84,7 @@ impl ValidationIssue {
     /// The exact bot-comment label used in Table 3 of the paper.
     pub fn bot_message(&self) -> &'static str {
         match self {
-            ValidationIssue::WellKnownUnfetchable { .. } => {
-                "Unable to fetch .well-known JSON file"
-            }
+            ValidationIssue::WellKnownUnfetchable { .. } => "Unable to fetch .well-known JSON file",
             ValidationIssue::AssociatedSiteNotEtldPlusOne { .. } => {
                 "Associated site isn't an eTLD+1"
             }
@@ -98,9 +96,7 @@ impl ValidationIssue {
             }
             ValidationIssue::AliasSiteNotEtldPlusOne { .. } => "Alias site isn't an eTLD+1",
             ValidationIssue::PrimarySiteNotEtldPlusOne { .. } => "Primary site isn't an eTLD+1",
-            ValidationIssue::MissingRationale { .. } => {
-                "No rationale for one or more set members"
-            }
+            ValidationIssue::MissingRationale { .. } => "No rationale for one or more set members",
             ValidationIssue::Other { .. } => "Other",
         }
     }
@@ -151,7 +147,10 @@ impl ValidationReport {
 
     /// The bot-comment labels for every issue, in order.
     pub fn bot_messages(&self) -> Vec<&'static str> {
-        self.issues.iter().map(ValidationIssue::bot_message).collect()
+        self.issues
+            .iter()
+            .map(ValidationIssue::bot_message)
+            .collect()
     }
 }
 
@@ -182,7 +181,7 @@ impl Default for ValidatorConfig {
 
 /// The automated set validator.
 pub struct SetValidator {
-    psl: PublicSuffixList,
+    resolver: SiteResolver,
     fetcher: Fetcher,
     config: ValidatorConfig,
 }
@@ -191,25 +190,28 @@ impl SetValidator {
     /// Create a validator over a simulated web with the default (full)
     /// configuration and the strict fetch policy the real bot uses.
     pub fn new(web: SimulatedWeb) -> SetValidator {
-        SetValidator {
-            psl: PublicSuffixList::embedded(),
-            fetcher: Fetcher::with_policy(web, FetchPolicy::strict()),
-            config: ValidatorConfig::default(),
-        }
+        SetValidator::with_config(web, ValidatorConfig::default())
     }
 
     /// Create a validator with an explicit configuration.
     pub fn with_config(web: SimulatedWeb, config: ValidatorConfig) -> SetValidator {
         SetValidator {
-            psl: PublicSuffixList::embedded(),
+            resolver: SiteResolver::embedded(),
             fetcher: Fetcher::with_policy(web, FetchPolicy::strict()),
             config,
         }
     }
 
+    /// Share a memoizing [`SiteResolver`] with other components (the
+    /// governance pipeline validates hundreds of submissions naming the
+    /// same hosts; one shared cache answers the repeats).
+    pub fn set_resolver(&mut self, resolver: SiteResolver) {
+        self.resolver = resolver;
+    }
+
     /// Replace the Public Suffix List used for eTLD+1 checks.
     pub fn set_psl(&mut self, psl: PublicSuffixList) {
-        self.psl = psl;
+        self.resolver = SiteResolver::new(psl);
     }
 
     /// Validate one submitted set, returning the full report.
@@ -244,18 +246,18 @@ impl SetValidator {
     }
 
     fn check_etld_plus_one(&self, set: &RwsSet, issues: &mut Vec<ValidationIssue>) {
-        if !self.psl.is_etld_plus_one(set.primary()) {
+        if !self.resolver.is_etld_plus_one(set.primary()) {
             issues.push(ValidationIssue::PrimarySiteNotEtldPlusOne {
                 site: set.primary().clone(),
             });
         }
         for site in set.associated_sites() {
-            if !self.psl.is_etld_plus_one(site) {
+            if !self.resolver.is_etld_plus_one(site) {
                 issues.push(ValidationIssue::AssociatedSiteNotEtldPlusOne { site: site.clone() });
             }
         }
         for site in set.service_sites() {
-            if !self.psl.is_etld_plus_one(site) {
+            if !self.resolver.is_etld_plus_one(site) {
                 // The bot reports non-eTLD+1 service sites under "Other".
                 issues.push(ValidationIssue::Other {
                     site: site.clone(),
@@ -264,7 +266,7 @@ impl SetValidator {
             }
         }
         for site in set.cctld_sites() {
-            if !self.psl.is_etld_plus_one(site) {
+            if !self.resolver.is_etld_plus_one(site) {
                 issues.push(ValidationIssue::AliasSiteNotEtldPlusOne { site: site.clone() });
             }
         }
@@ -321,9 +323,9 @@ impl SetValidator {
             let url = Url::https(site, "/");
             match self.fetcher.head(&url) {
                 Ok(resp) if resp.headers.contains("x-robots-tag") => {}
-                Ok(_) => issues.push(ValidationIssue::ServiceSiteWithoutRobotsTag {
-                    site: site.clone(),
-                }),
+                Ok(_) => {
+                    issues.push(ValidationIssue::ServiceSiteWithoutRobotsTag { site: site.clone() })
+                }
                 Err(err) => issues.push(ValidationIssue::Other {
                     site: site.clone(),
                     detail: format!("service site unreachable: {err}"),
@@ -360,7 +362,8 @@ mod tests {
         let mut set = RwsSet::new("https://bild.de").unwrap();
         set.add_associated("https://autobild.de", "Automotive sister brand")
             .unwrap();
-        set.add_service("https://bildstatic.de", "Asset CDN").unwrap();
+        set.add_service("https://bildstatic.de", "Asset CDN")
+            .unwrap();
         set
     }
 
@@ -378,7 +381,10 @@ mod tests {
         let validator = SetValidator::new(web_for(&set));
         let report = validator.validate(&set);
         assert!(report.passed(), "unexpected issues: {:?}", report.issues);
-        assert!(report.fetches >= 4, "one well-known per member plus service HEAD");
+        assert!(
+            report.fetches >= 4,
+            "one well-known per member plus service HEAD"
+        );
     }
 
     #[test]
@@ -399,7 +405,9 @@ mod tests {
                 .count(),
             1
         );
-        assert!(report.bot_messages().contains(&"Unable to fetch .well-known JSON file"));
+        assert!(report
+            .bot_messages()
+            .contains(&"Unable to fetch .well-known JSON file"));
     }
 
     #[test]
@@ -422,7 +430,8 @@ mod tests {
     #[test]
     fn non_etld_plus_one_members_flagged_by_role() {
         let mut set = RwsSet::new("https://www.primary-example.com").unwrap();
-        set.add_associated("https://sub.assoc-example.com", "r").unwrap();
+        set.add_associated("https://sub.assoc-example.com", "r")
+            .unwrap();
         set.add_cctld_variants(
             "https://www.primary-example.com",
             &["https://www.primary-example.de"],
@@ -481,8 +490,10 @@ mod tests {
     #[test]
     fn missing_rationale_reported_once() {
         let mut set = RwsSet::new("https://a-example.com").unwrap();
-        set.add_associated_without_rationale("https://b-example.com").unwrap();
-        set.add_associated_without_rationale("https://c-example.com").unwrap();
+        set.add_associated_without_rationale("https://b-example.com")
+            .unwrap();
+        set.add_associated_without_rationale("https://c-example.com")
+            .unwrap();
         let report = SetValidator::with_config(
             SimulatedWeb::new(),
             ValidatorConfig {

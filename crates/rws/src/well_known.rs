@@ -66,12 +66,11 @@ impl WellKnownFile {
         if has_member_lists {
             Ok(WellKnownFile::Primary(set_from_json(value)?))
         } else {
-            let primary = obj
-                .get("primary")
-                .and_then(Value::as_str)
-                .ok_or_else(|| SetError::MalformedJson {
+            let primary = obj.get("primary").and_then(Value::as_str).ok_or_else(|| {
+                SetError::MalformedJson {
                     reason: "well-known document is missing 'primary'".to_string(),
-                })?;
+                }
+            })?;
             Ok(WellKnownFile::Member {
                 primary: parse_member(primary)?,
             })
@@ -115,7 +114,8 @@ mod tests {
 
     fn sample_set() -> RwsSet {
         let mut set = RwsSet::new("https://bild.de").unwrap();
-        set.add_associated("https://autobild.de", "Sister publication").unwrap();
+        set.add_associated("https://autobild.de", "Sister publication")
+            .unwrap();
         set
     }
 

@@ -125,11 +125,7 @@ impl CategoryCounter {
     /// `(category, count)` pairs sorted by descending count (ties broken by
     /// category name), as the paper's tables present them.
     pub fn sorted_by_count(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }

@@ -89,7 +89,10 @@ fn kolmogorov_survival(lambda: f64) -> f64 {
 /// for samples of size `n1` and `n2` (asymptotic formula).
 pub fn ks_critical_value(n1: usize, n2: usize, alpha: f64) -> f64 {
     assert!(n1 > 0 && n2 > 0, "sample sizes must be positive");
-    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&alpha) && alpha > 0.0,
+        "alpha must be in (0,1)"
+    );
     let c = (-0.5 * (alpha / 2.0).ln()).sqrt();
     c * ((n1 + n2) as f64 / (n1 * n2) as f64).sqrt()
 }
@@ -136,7 +139,11 @@ mod tests {
         let a: Vec<f64> = (0..300).map(|_| rng.gaussian(0.0, 1.0)).collect();
         let b: Vec<f64> = (0..300).map(|_| rng.gaussian(1.0, 1.0)).collect();
         let r = ks_two_sample(&a, &b);
-        assert!(r.significant_at(0.001), "shifted normals must differ: p={}", r.p_value);
+        assert!(
+            r.significant_at(0.001),
+            "shifted normals must differ: p={}",
+            r.p_value
+        );
     }
 
     #[test]

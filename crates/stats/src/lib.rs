@@ -29,6 +29,7 @@ pub mod descriptive;
 pub mod ecdf;
 pub mod histogram;
 pub mod ks;
+pub mod parallel;
 pub mod quantile;
 pub mod rng;
 pub mod sampling;
@@ -38,6 +39,7 @@ pub use descriptive::{mean, population_variance, sample_variance, stddev, Summar
 pub use ecdf::Ecdf;
 pub use histogram::{CategoryCounter, Histogram};
 pub use ks::{ks_critical_value, ks_two_sample, KsResult};
+pub use parallel::{par_for_each, par_map, par_map_coarse};
 pub use quantile::{median, percentile, quantile};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use sampling::{
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use crate::ecdf::Ecdf;
     pub use crate::histogram::{CategoryCounter, Histogram};
     pub use crate::ks::{ks_two_sample, KsResult};
+    pub use crate::parallel::{par_for_each, par_map, par_map_coarse};
     pub use crate::quantile::{median, percentile, quantile};
     pub use crate::rng::{Rng, SplitMix64, Xoshiro256StarStar};
     pub use crate::sampling::{choose, sample_without_replacement, shuffle, weighted_choice};

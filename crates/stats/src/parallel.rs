@@ -1,0 +1,164 @@
+//! Deterministic parallel sweeps over slices.
+//!
+//! The registry (and therefore rayon) is unreachable in this environment,
+//! so this module provides the small slice-parallelism surface the
+//! workspace's sweeps need, built on `std::thread::scope`:
+//!
+//! * [`par_map`] — apply a function to every element, in parallel, with
+//!   results returned **in input order** (so parallel sweeps stay
+//!   bit-for-bit identical to their sequential counterparts);
+//! * [`par_for_each`] — the side-effect-only variant.
+//!
+//! Work is distributed by an atomic cursor (work stealing at element
+//! granularity), which keeps threads busy even when per-element cost is
+//! skewed — exactly the shape of per-document HTML work. Panics in the
+//! closure propagate to the caller. Inputs shorter than
+//! [`MIN_PARALLEL_LEN`] run inline: spawning threads for a handful of
+//! elements costs more than it saves.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this many items the overhead of spawning beats the win.
+pub const MIN_PARALLEL_LEN: usize = 32;
+
+/// Number of worker threads for `n` items: the machine's parallelism,
+/// capped by the item count.
+fn thread_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Apply `f` to every element of `items` in parallel, returning the results
+/// in input order. `f` receives `(index, &item)`.
+///
+/// Equivalent to `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`
+/// — including panic behaviour — but spread over the available cores.
+/// Inputs shorter than [`MIN_PARALLEL_LEN`] run inline; use
+/// [`par_map_coarse`] when each element is individually expensive.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.len() < MIN_PARALLEL_LEN {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    par_map_coarse(items, f)
+}
+
+/// [`par_map`] without the short-input cutoff: parallelises even a handful
+/// of elements. For coarse tasks (whole-trace replays, whole-figure
+/// renders) where each element costs far more than a thread spawn.
+pub fn par_map_coarse<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::with_capacity(n / threads + 1);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(shard) => shard,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    for shard in &mut shards {
+        indexed.append(shard);
+    }
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run `f` over every element of `items` in parallel for its side effects.
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    par_map(items, |i, t| f(i, t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let doubled = par_map(&items, |_, v| v * 2);
+        assert_eq!(doubled, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_map_exactly() {
+        let items: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        let parallel = par_map(&items, |i, s| format!("{i}:{s}"));
+        let sequential: Vec<String> = items
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}:{s}"))
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, |_, v| v + 1), vec![2, 3, 4]);
+        let empty: [u8; 0] = [];
+        assert!(par_map(&empty, |_, v| *v).is_empty());
+    }
+
+    #[test]
+    fn for_each_touches_every_element_once() {
+        let items: Vec<usize> = (0..200).collect();
+        let sum = AtomicU64::new(0);
+        par_for_each(&items, |_, v| {
+            sum.fetch_add(*v as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..200u64).sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn panics_propagate() {
+        let items: Vec<usize> = (0..100).collect();
+        let _ = par_map(&items, |_, v| {
+            if *v == 63 {
+                panic!("deliberate");
+            }
+            *v
+        });
+    }
+}

@@ -7,7 +7,10 @@
 /// empty or `p` is outside `[0, 1]`.
 pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of an empty sample");
-    assert!((0.0..=1.0).contains(&p), "quantile probability must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "quantile probability must be in [0,1], got {p}"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -365,7 +365,10 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(11);
         let n = 50_000;
         let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
-        assert!((mean - 2.0).abs() < 0.1, "mean {mean} should be near 1/lambda = 2");
+        assert!(
+            (mean - 2.0).abs() < 0.1,
+            "mean {mean} should be near 1/lambda = 2"
+        );
     }
 
     #[test]

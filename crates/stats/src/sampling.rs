@@ -57,10 +57,7 @@ pub fn sample_without_replacement<T: Clone, R: Rng + ?Sized>(
 /// Choose an index according to non-negative weights. Returns `None` if the
 /// slice is empty or all weights are zero / non-finite.
 pub fn weighted_choice<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
-    let total: f64 = weights
-        .iter()
-        .filter(|w| w.is_finite() && **w > 0.0)
-        .sum();
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
     if total <= 0.0 {
         return None;
     }
@@ -104,7 +101,10 @@ mod tests {
         let original: Vec<u32> = (0..50).collect();
         let mut v = original.clone();
         shuffle(&mut v, &mut rng);
-        assert_ne!(v, original, "a 50-element shuffle should not be the identity");
+        assert_ne!(
+            v, original,
+            "a 50-element shuffle should not be the identity"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct Month {
 impl Month {
     /// Create a month, panicking on an out-of-range month number.
     pub fn new(year: i32, month: u8) -> Month {
-        assert!((1..=12).contains(&month), "month must be 1..=12, got {month}");
+        assert!(
+            (1..=12).contains(&month),
+            "month must be 1..=12, got {month}"
+        );
         Month { year, month }
     }
 
@@ -159,7 +162,10 @@ impl Date {
     /// supports dates on or after the epoch, which covers the paper's
     /// 2023-01 → 2024-03 study window.
     pub fn from_day_number(n: i64) -> Date {
-        assert!(n >= 0, "from_day_number only supports dates on/after 2020-01-01");
+        assert!(
+            n >= 0,
+            "from_day_number only supports dates on/after 2020-01-01"
+        );
         let mut remaining = n;
         let mut year = EPOCH.year;
         loop {
@@ -381,9 +387,19 @@ mod tests {
 
     #[test]
     fn date_day_number_round_trip() {
-        for &s in &["2020-01-01", "2023-01-15", "2024-02-29", "2024-03-30", "2024-12-31"] {
+        for &s in &[
+            "2020-01-01",
+            "2023-01-15",
+            "2024-02-29",
+            "2024-03-30",
+            "2024-12-31",
+        ] {
             let d = Date::parse(s).unwrap();
-            assert_eq!(Date::from_day_number(d.day_number()), d, "round trip for {s}");
+            assert_eq!(
+                Date::from_day_number(d.day_number()),
+                d,
+                "round trip for {s}"
+            );
         }
     }
 
@@ -447,7 +463,11 @@ mod tests {
         let months: Vec<Month> = s.iter().map(|(m, _)| m).collect();
         assert_eq!(
             months,
-            vec![Month::new(2023, 11), Month::new(2023, 12), Month::new(2024, 1)]
+            vec![
+                Month::new(2023, 11),
+                Month::new(2023, 12),
+                Month::new(2024, 1)
+            ]
         );
         assert_eq!(s.end(), Month::new(2024, 1));
     }

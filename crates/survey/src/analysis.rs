@@ -69,7 +69,10 @@ impl ConfusionMatrix {
 
     /// Total responses.
     pub fn total(&self) -> usize {
-        self.related_related + self.related_unrelated + self.unrelated_related + self.unrelated_unrelated
+        self.related_related
+            + self.related_unrelated
+            + self.unrelated_related
+            + self.unrelated_unrelated
     }
 }
 
@@ -281,10 +284,18 @@ mod tests {
     fn group_summaries_cover_all_four_groups() {
         let analysis = analysed(2);
         assert_eq!(analysis.group_summaries.len(), 4);
-        let total: usize = analysis.group_summaries.iter().map(GroupSummary::total).sum();
+        let total: usize = analysis
+            .group_summaries
+            .iter()
+            .map(GroupSummary::total)
+            .sum();
         assert_eq!(total, analysis.total_responses);
         // Groups 2-4 are dominated by "unrelated" verdicts.
-        for group in [PairGroup::RwsOtherSet, PairGroup::TopSiteSameCategory, PairGroup::TopSiteOtherCategory] {
+        for group in [
+            PairGroup::RwsOtherSet,
+            PairGroup::TopSiteSameCategory,
+            PairGroup::TopSiteOtherCategory,
+        ] {
             if let Some(summary) = analysis.summary_for(group) {
                 if summary.total() > 10 {
                     assert!(

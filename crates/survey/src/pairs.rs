@@ -232,7 +232,11 @@ mod tests {
     fn group_labels_and_truth() {
         assert_eq!(PairGroup::RwsSameSet.label(), "RWS (same set)");
         assert!(PairGroup::RwsSameSet.related_under_rws());
-        for g in [PairGroup::RwsOtherSet, PairGroup::TopSiteSameCategory, PairGroup::TopSiteOtherCategory] {
+        for g in [
+            PairGroup::RwsOtherSet,
+            PairGroup::TopSiteSameCategory,
+            PairGroup::TopSiteOtherCategory,
+        ] {
             assert!(!g.related_under_rws());
         }
     }
@@ -269,7 +273,10 @@ mod tests {
         for member in generator.eligible_members() {
             let spec = corpus.site(&member).unwrap();
             assert!(spec.survey_eligible());
-            assert!(matches!(spec.role, SiteRole::SetPrimary | SiteRole::SetAssociated));
+            assert!(matches!(
+                spec.role,
+                SiteRole::SetPrimary | SiteRole::SetAssociated
+            ));
         }
     }
 
@@ -290,7 +297,10 @@ mod tests {
         let (_, u) = universe();
         assert_eq!(
             u.total(),
-            u.same_set.len() + u.other_set.len() + u.top_same_category.len() + u.top_other_category.len()
+            u.same_set.len()
+                + u.other_set.len()
+                + u.top_same_category.len()
+                + u.top_other_category.len()
         );
         assert!(u.total() > 0);
         for g in PairGroup::ALL {
@@ -308,6 +318,9 @@ mod tests {
         let generator = PairGenerator::new(&corpus, &categories);
         let mut rng_a = Xoshiro256StarStar::new(5);
         let mut rng_b = Xoshiro256StarStar::new(5);
-        assert_eq!(generator.generate(&mut rng_a), generator.generate(&mut rng_b));
+        assert_eq!(
+            generator.generate(&mut rng_a),
+            generator.generate(&mut rng_b)
+        );
     }
 }

@@ -3,7 +3,7 @@
 use crate::pairs::{PairGroup, PairUniverse, SitePair};
 use crate::participant::{Cues, FactorReport, Participant, Verdict};
 use rws_corpus::Corpus;
-use rws_domain::PublicSuffixList;
+use rws_domain::SiteResolver;
 use rws_stats::rng::Xoshiro256StarStar;
 use rws_stats::sampling::{sample_without_replacement, shuffle};
 use serde::{Deserialize, Serialize};
@@ -71,7 +71,10 @@ pub struct SurveyDataset {
 impl SurveyDataset {
     /// All responses for one group.
     pub fn for_group(&self, group: PairGroup) -> Vec<&SurveyResponse> {
-        self.responses.iter().filter(|r| r.pair.group == group).collect()
+        self.responses
+            .iter()
+            .filter(|r| r.pair.group == group)
+            .collect()
     }
 
     /// Number of distinct participants with at least one response.
@@ -114,7 +117,13 @@ impl SurveyRunner {
     pub fn run(&self, corpus: &Corpus, universe: &PairUniverse) -> SurveyDataset {
         let cfg = self.config;
         let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("survey-runner");
-        let psl = PublicSuffixList::embedded();
+        let resolver = SiteResolver::embedded();
+        // Cues depend only on the pair, not the participant: observe each
+        // distinct pair once and serve repeats from this cache.
+        let mut cue_cache: std::collections::HashMap<
+            (rws_domain::DomainName, rws_domain::DomainName),
+            Cues,
+        > = std::collections::HashMap::new();
         let mut dataset = SurveyDataset {
             participants_started: cfg.participants,
             ..SurveyDataset::default()
@@ -131,7 +140,11 @@ impl SurveyRunner {
                 if pool.is_empty() {
                     continue;
                 }
-                questions.extend(sample_without_replacement(pool, cfg.pairs_per_group, &mut rng));
+                questions.extend(sample_without_replacement(
+                    pool,
+                    cfg.pairs_per_group,
+                    &mut rng,
+                ));
             }
             shuffle(&mut questions, &mut rng);
 
@@ -139,7 +152,9 @@ impl SurveyRunner {
                 if participant.skips(&mut rng) {
                     continue;
                 }
-                let cues = Cues::observe(corpus, &pair, &psl);
+                let cues = *cue_cache
+                    .entry((pair.first.clone(), pair.second.clone()))
+                    .or_insert_with(|| Cues::observe_cached(corpus, &pair, &resolver));
                 let (verdict, seconds) = participant.judge(&cues, &mut rng);
                 dataset.responses.push(SurveyResponse {
                     participant: participant_id,
@@ -189,7 +204,10 @@ mod tests {
         assert!(dataset.participants_started == 30);
         // Most participants answer most of their 20 questions.
         let per_participant = dataset.responses.len() as f64 / dataset.active_participants() as f64;
-        assert!(per_participant > 8.0, "mean responses per participant {per_participant}");
+        assert!(
+            per_participant > 8.0,
+            "mean responses per participant {per_participant}"
+        );
         // Factor questionnaires come from roughly 70% of participants.
         assert!((10..=30).contains(&dataset.factor_reports.len()));
     }
@@ -232,7 +250,9 @@ mod tests {
     fn correctness_definition_matches_ground_truth() {
         let (corpus, dataset) = run_small(5);
         for response in &dataset.responses {
-            let actually_related = corpus.list.are_related(&response.pair.first, &response.pair.second);
+            let actually_related = corpus
+                .list
+                .are_related(&response.pair.first, &response.pair.second);
             assert_eq!(response.pair.related_under_rws(), actually_related);
             assert_eq!(
                 response.correct(),

@@ -19,11 +19,26 @@ fn main() {
     let history = &reproduction.scenario().history;
     println!("--- governance summary ---");
     println!("pull requests:            {}", history.len());
-    println!("approved:                 {}", history.count(PrState::Approved));
-    println!("closed without merging:   {}", history.count(PrState::Closed));
-    println!("rejection rate:           {:.1}% (paper: 58.8%)", 100.0 * history.rejection_rate());
-    println!("distinct set primaries:   {} (paper: 60)", history.distinct_primaries());
-    println!("mean PRs per primary:     {:.2} (paper: 1.9)", history.mean_prs_per_primary());
+    println!(
+        "approved:                 {}",
+        history.count(PrState::Approved)
+    );
+    println!(
+        "closed without merging:   {}",
+        history.count(PrState::Closed)
+    );
+    println!(
+        "rejection rate:           {:.1}% (paper: 58.8%)",
+        100.0 * history.rejection_rate()
+    );
+    println!(
+        "distinct set primaries:   {} (paper: 60)",
+        history.distinct_primaries()
+    );
+    println!(
+        "mean PRs per primary:     {:.2} (paper: 1.9)",
+        history.mean_prs_per_primary()
+    );
     println!(
         "same-day closures:        {:.1}% of rejected PRs (paper: 54.3%)",
         100.0 * history.same_day_fraction(PrState::Closed)

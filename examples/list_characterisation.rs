@@ -22,7 +22,10 @@ fn main() {
     println!("--- list summary (generated corpus) ---");
     println!("sets:            {}", list.set_count());
     println!("member domains:  {}", list.domain_count());
-    let latest = scenario.snapshots.latest().expect("history produced snapshots");
+    let latest = scenario
+        .snapshots
+        .latest()
+        .expect("history produced snapshots");
     println!(
         "sets with associated sites: {:.1}% (paper: 92.7%)",
         100.0 * latest.fraction_of_sets_with(MemberRole::Associated)

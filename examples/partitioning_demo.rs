@@ -16,9 +16,12 @@ fn main() {
     // An RWS set operated by one publisher, including an in-house analytics
     // property (the paper calls out ya.ru including webvisor.com).
     let mut set = RwsSet::new("https://bild.de").unwrap();
-    set.add_associated("https://autobild.de", "Automotive sister brand").unwrap();
-    set.add_associated("https://computerbild.de", "IT sister brand").unwrap();
-    set.add_associated("https://bildanalytics.de", "In-house web analytics").unwrap();
+    set.add_associated("https://autobild.de", "Automotive sister brand")
+        .unwrap();
+    set.add_associated("https://computerbild.de", "IT sister brand")
+        .unwrap();
+    set.add_associated("https://bildanalytics.de", "In-house web analytics")
+        .unwrap();
     let list = RwsList::from_sets(vec![set]).unwrap();
 
     // The user's browsing trace: three sites of the publisher plus two
@@ -31,7 +34,10 @@ fn main() {
         dn("independent-shop.com"),
     ];
 
-    println!("trace: {} page visits, tracker embedded on every page\n", trace.len());
+    println!(
+        "trace: {} page visits, tracker embedded on every page\n",
+        trace.len()
+    );
 
     for tracker in [dn("bildanalytics.de"), dn("thirdparty-tracker.com")] {
         println!("tracker: {tracker}");

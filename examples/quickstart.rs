@@ -14,10 +14,16 @@ fn main() {
     //    sister brand and its asset CDN.
     let mut set = RwsSet::new("https://bild.de").expect("valid primary");
     set.set_contact("webmaster@bild.de");
-    set.add_associated("https://autobild.de", "Automotive news brand of the same publisher")
-        .expect("valid associated site");
-    set.add_service("https://bildstatic.de", "Static asset CDN for all BILD properties")
-        .expect("valid service site");
+    set.add_associated(
+        "https://autobild.de",
+        "Automotive news brand of the same publisher",
+    )
+    .expect("valid associated site");
+    set.add_service(
+        "https://bildstatic.de",
+        "Static asset CDN for all BILD properties",
+    )
+    .expect("valid service site");
 
     // 2. Stand up the members on a simulated web, each serving its
     //    .well-known/related-website-set.json file.
@@ -40,7 +46,10 @@ fn main() {
 
     // 3. Run the automated validation the submission bot performs.
     let report = SetValidator::new(web).validate(&set);
-    println!("validation outcome for {}: {:?}", report.primary, report.outcome);
+    println!(
+        "validation outcome for {}: {:?}",
+        report.primary, report.outcome
+    );
     for issue in &report.issues {
         println!("  bot message: {}", issue.bot_message());
     }

@@ -25,10 +25,19 @@ fn generated_well_known_files_are_fetchable_and_consistent() {
                 continue;
             }
             let url = Url::https(&member, WELL_KNOWN_RWS_PATH);
-            let response = fetcher.get(&url).expect("live member serves its well-known file");
-            assert!(response.status.is_success(), "{member}: {}", response.status);
+            let response = fetcher
+                .get(&url)
+                .expect("live member serves its well-known file");
+            assert!(
+                response.status.is_success(),
+                "{member}: {}",
+                response.status
+            );
             let file = WellKnownFile::from_json_str(&response.body_text()).expect("valid JSON");
-            assert!(file.matches_submission(set), "{member} well-known disagrees with its set");
+            assert!(
+                file.matches_submission(set),
+                "{member} well-known disagrees with its set"
+            );
         }
     }
 }
@@ -60,7 +69,11 @@ fn validator_accepts_fully_live_generated_sets_and_rejects_tampered_ones() {
         if !all_live {
             continue;
         }
-        assert!(validator.validate(set).passed(), "set {} should pass", set.primary());
+        assert!(
+            validator.validate(set).passed(),
+            "set {} should pass",
+            set.primary()
+        );
         validated_clean += 1;
 
         // Tamper with the submission: add a member that serves nothing.

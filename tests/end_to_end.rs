@@ -27,7 +27,11 @@ fn scenario() -> &'static Scenario {
 #[test]
 fn corpus_matches_paper_scale_list_statistics() {
     let s = scenario();
-    assert_eq!(s.corpus.list.set_count(), 41, "paper: 41 sets on 2024-03-26");
+    assert_eq!(
+        s.corpus.list.set_count(),
+        41,
+        "paper: 41 sets on 2024-03-26"
+    );
     let with_associated = s
         .corpus
         .list
@@ -35,9 +39,17 @@ fn corpus_matches_paper_scale_list_statistics() {
         .filter(|set| set.associated_count() > 0)
         .count() as f64
         / 41.0;
-    assert!(with_associated > 0.75, "paper: 92.7% of sets have associated sites");
-    let mean_associated: f64 =
-        s.corpus.list.sets().map(|set| set.associated_count() as f64).sum::<f64>() / 41.0;
+    assert!(
+        with_associated > 0.75,
+        "paper: 92.7% of sets have associated sites"
+    );
+    let mean_associated: f64 = s
+        .corpus
+        .list
+        .sets()
+        .map(|set| set.associated_count() as f64)
+        .sum::<f64>()
+        / 41.0;
     assert!(
         (1.5..=4.0).contains(&mean_associated),
         "paper: mean 2.6 associated sites per set, got {mean_associated:.2}"
@@ -96,7 +108,10 @@ fn survey_other_groups_are_overwhelmingly_judged_unrelated() {
         if responses.len() < 10 {
             continue;
         }
-        let unrelated = responses.iter().filter(|r| r.verdict == Verdict::Unrelated).count();
+        let unrelated = responses
+            .iter()
+            .filter(|r| r.verdict == Verdict::Unrelated)
+            .count();
         let rate = unrelated as f64 / responses.len() as f64;
         assert!(
             rate > 0.8,
@@ -121,7 +136,10 @@ fn sld_distance_shape_matches_figure_3() {
     // Some identical SLDs exist, but they are a small minority (paper: 9.3%).
     let identical = associated_distances.iter().filter(|&&d| d == 0.0).count() as f64
         / associated_distances.len() as f64;
-    assert!(identical > 0.0 && identical < 0.35, "identical-SLD share {identical:.3}");
+    assert!(
+        identical > 0.0 && identical < 0.35,
+        "identical-SLD share {identical:.3}"
+    );
     // Half of associated SLDs are far from their primary (paper: median 7,
     // "edit distance of 6 or more").
     let median = rws_stats::median(&associated_distances).unwrap();
@@ -146,7 +164,11 @@ fn html_similarity_shape_matches_figure_4() {
 fn governance_history_matches_figure_5_and_6_shape() {
     let s = scenario();
     let history = &s.history;
-    assert!(history.len() >= 60, "expected a substantial PR history, got {}", history.len());
+    assert!(
+        history.len() >= 60,
+        "expected a substantial PR history, got {}",
+        history.len()
+    );
     // A large share of PRs is closed without merging (paper: 58.8%).
     assert!((0.30..=0.75).contains(&history.rejection_rate()));
     // Submitters retry: more PRs than distinct primaries (paper: 1.9 each).
@@ -161,12 +183,18 @@ fn governance_history_matches_figure_5_and_6_shape() {
         history.count(PrState::Approved)
     );
     let closed_curve: Vec<f64> = closed.iter().map(|(_, v)| v).collect();
-    assert_eq!(*closed_curve.last().unwrap() as usize, history.count(PrState::Closed));
+    assert_eq!(
+        *closed_curve.last().unwrap() as usize,
+        history.count(PrState::Closed)
+    );
     // Figure 6: rejected PRs close quickly (most the same day), approvals
     // take days of manual review.
     assert!(history.same_day_fraction(PrState::Closed) > 0.3);
     let approved_median = rws_stats::median(&history.days_to_process(PrState::Approved)).unwrap();
-    assert!((1.0..=15.0).contains(&approved_median), "median approval {approved_median} days");
+    assert!(
+        (1.0..=15.0).contains(&approved_median),
+        "median approval {approved_median} days"
+    );
 }
 
 #[test]
@@ -191,7 +219,10 @@ fn bot_messages_match_table_3_ordering() {
         "Other",
     ];
     for (message, _) in &sorted {
-        assert!(known.contains(&message.as_str()), "unexpected bot message '{message}'");
+        assert!(
+            known.contains(&message.as_str()),
+            "unexpected bot message '{message}'"
+        );
     }
 }
 

@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!` — backed by a simple wall-clock
+//! harness: warm up briefly, then take several timed samples and report the
+//! median ns/iteration.
+//!
+//! Command-line behaviour mirrors what `cargo bench` / `cargo test` pass:
+//! a positional argument filters benchmarks by substring, and `--test` runs
+//! every benchmark body exactly once without timing (the smoke mode CI
+//! uses).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    result_ns: &'a mut Option<f64>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher<'_> {
+    /// Run the benchmark payload.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(f());
+            }
+            Mode::Measure => {
+                *self.result_ns = Some(measure(&mut f));
+            }
+        }
+    }
+}
+
+/// Time `f`, returning median nanoseconds per call.
+fn measure<O, F: FnMut() -> O>(f: &mut F) -> f64 {
+    // Warm-up: run for ~20ms and estimate the per-call cost.
+    let warmup_deadline = Instant::now() + Duration::from_millis(20);
+    let mut warmup_calls = 0u64;
+    let warmup_start = Instant::now();
+    while Instant::now() < warmup_deadline {
+        black_box(f());
+        warmup_calls += 1;
+    }
+    let per_call = warmup_start.elapsed().as_nanos() as f64 / warmup_calls.max(1) as f64;
+
+    // Choose a batch size aiming at ~5ms per sample, then take samples.
+    let batch = ((5_000_000.0 / per_call.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+    let mut samples = Vec::with_capacity(15);
+    for _ in 0..15 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    /// `(benchmark id, median ns/iter)` for everything measured so far.
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Build from the process's command-line arguments.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags cargo/criterion pass that the shim can ignore.
+                "--bench" | "--noplot" | "--quiet" | "-q" | "--exact" | "--nocapture" => {}
+                other if other.starts_with('-') => {}
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut result_ns = None;
+        let mut bencher = Bencher {
+            mode: if self.test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure
+            },
+            result_ns: &mut result_ns,
+        };
+        f(&mut bencher);
+        match result_ns {
+            Some(ns) => {
+                println!("{id:<50} time: [{}]", format_ns(ns));
+                self.results.push((id.to_string(), ns));
+            }
+            None if self.test_mode => println!("{id:<50} ... ok (test mode)"),
+            None => println!("{id:<50} ... no measurement (b.iter not called)"),
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Print a closing summary. Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if !self.results.is_empty() {
+            println!("\n{} benchmarks measured", self.results.len());
+        }
+    }
+
+    /// All `(id, median ns/iter)` results measured so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run `group_name/id`.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Run `group_name/id` with an input value threaded through.
+    pub fn bench_with_input<I, D: std::fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Finish the group (no-op beyond semantics).
+    pub fn finish(self) {}
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            let _ = &$config;
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}

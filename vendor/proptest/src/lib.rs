@@ -1,0 +1,626 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`, string strategies written as
+//! regex-like patterns (`"[a-z]{1,8}"`), numeric range strategies, tuples,
+//! `collection::vec` / `collection::btree_set`, `option::of`, `any::<T>()`,
+//! and the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed number
+//! of deterministic random seeds (derived from the test name), and failing
+//! cases are *not* shrunk — the failing input is simply printed by the
+//! panic message of the underlying `assert!`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each `proptest!` test body runs.
+pub const NUM_CASES: usize = 48;
+
+pub mod test_runner {
+    /// The deterministic RNG driving case generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a label (the test name) so every test gets a distinct,
+        /// reproducible stream.
+        pub fn deterministic(label: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Discard generated values failing a predicate (retry up to 100 times,
+    /// then keep the last candidate).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterStrategy { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut candidate = self.inner.generate(rng);
+        for _ in 0..100 {
+            if (self.f)(&candidate) {
+                break;
+            }
+            candidate = self.inner.generate(rng);
+        }
+        candidate
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- pattern strategies -----------------------------------------------------
+
+/// String literals act as regex-like pattern strategies.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = pattern::parse(self);
+        let mut out = String::new();
+        pattern.generate(rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+mod pattern {
+    //! A tiny generator for the regex subset the tests use: literal
+    //! characters, `.`, character classes (`[a-z0-9]`, `[ -~]`), groups with
+    //! alternation (`(ab|cd)`), and the quantifiers `{m,n}` / `{n}` / `?` /
+    //! `*` / `+`.
+
+    use super::test_runner::TestRng;
+
+    pub enum Node {
+        Literal(char),
+        AnyChar,
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    impl Node {
+        pub fn generate(&self, rng: &mut TestRng, out: &mut String) {
+            match self {
+                Node::Literal(c) => out.push(*c),
+                Node::AnyChar => {
+                    // Printable ASCII keeps generated text readable.
+                    out.push((0x20 + rng.below(0x5f) as u8) as char);
+                }
+                Node::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total.max(1));
+                    for (lo, hi) in ranges {
+                        let span = (*hi as u64) - (*lo as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                            return;
+                        }
+                        pick -= span;
+                    }
+                }
+                Node::Group(alternatives) => {
+                    let alt = &alternatives[rng.below(alternatives.len() as u64) as usize];
+                    for node in alt {
+                        node.generate(rng, out);
+                    }
+                }
+                Node::Repeat(node, lo, hi) => {
+                    let count = *lo as u64 + rng.below((*hi - *lo + 1) as u64);
+                    for _ in 0..count {
+                        node.generate(rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A sequence of nodes wrapped as one group for uniform generation.
+    pub fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (nodes, consumed) = parse_sequence(&chars, 0);
+        debug_assert_eq!(
+            consumed,
+            chars.len(),
+            "unparsed pattern tail in {pattern:?}"
+        );
+        Node::Group(vec![nodes])
+    }
+
+    /// Parse nodes until end of input, `)` or `|`.
+    fn parse_sequence(chars: &[char], mut i: usize) -> (Vec<Node>, usize) {
+        let mut nodes = Vec::new();
+        while i < chars.len() {
+            match chars[i] {
+                ')' | '|' => break,
+                '[' => {
+                    let (class, next) = parse_class(chars, i + 1);
+                    i = next;
+                    i = parse_quantifier(chars, i, class, &mut nodes);
+                }
+                '(' => {
+                    let mut alternatives = Vec::new();
+                    let mut j = i + 1;
+                    loop {
+                        let (alt, next) = parse_sequence(chars, j);
+                        alternatives.push(alt);
+                        j = next;
+                        match chars.get(j) {
+                            Some('|') => j += 1,
+                            Some(')') => {
+                                j += 1;
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    i = parse_quantifier(chars, j, Node::Group(alternatives), &mut nodes);
+                }
+                '.' => {
+                    i = parse_quantifier(chars, i + 1, Node::AnyChar, &mut nodes);
+                }
+                '\\' => {
+                    let c = chars.get(i + 1).copied().unwrap_or('\\');
+                    let node = match c {
+                        'd' => Node::Class(vec![('0', '9')]),
+                        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        's' => Node::Literal(' '),
+                        other => Node::Literal(other),
+                    };
+                    i = parse_quantifier(chars, i + 2, node, &mut nodes);
+                }
+                c => {
+                    i = parse_quantifier(chars, i + 1, Node::Literal(c), &mut nodes);
+                }
+            }
+        }
+        (nodes, i)
+    }
+
+    /// Parse an optional quantifier following `node` and push the result.
+    fn parse_quantifier(chars: &[char], mut i: usize, node: Node, nodes: &mut Vec<Node>) -> usize {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .expect("unterminated {} quantifier");
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                nodes.push(Node::Repeat(Box::new(node), lo, hi));
+                i = close + 1;
+            }
+            Some('?') => {
+                nodes.push(Node::Repeat(Box::new(node), 0, 1));
+                i += 1;
+            }
+            Some('*') => {
+                nodes.push(Node::Repeat(Box::new(node), 0, 8));
+                i += 1;
+            }
+            Some('+') => {
+                nodes.push(Node::Repeat(Box::new(node), 1, 8));
+                i += 1;
+            }
+            _ => nodes.push(node),
+        }
+        i
+    }
+
+    /// Parse a character class body starting after `[`.
+    fn parse_class(chars: &[char], mut i: usize) -> (Node, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let hi = chars[i + 2];
+                ranges.push((lo, hi));
+                i += 3;
+            } else {
+                ranges.push((lo, lo));
+                i += 1;
+            }
+        }
+        (Node::Class(ranges), i + 1)
+    }
+}
+
+// --- numeric range strategies ----------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                (*self.start() as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+// --- tuple strategies -------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+) ),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+// --- any / Arbitrary --------------------------------------------------------
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, roughly symmetric values; property tests here only need
+        // "some plausible float".
+        (rng.next_f64() - 0.5) * 2e9
+    }
+}
+
+/// Strategy for [`Arbitrary`] types, as `any::<T>()`.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --- collections ------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, 0..10)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let count = self.len.start + rng.below(span) as usize;
+            (0..count).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with a target size drawn from `len`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::btree_set(element, 0..8)`.
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let target = self.len.start + rng.below(span) as usize;
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times.
+            for _ in 0..target * 4 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub use super::option;
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option`s: `None` one time in four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The macro-based test harness.
+///
+/// Each `fn name(binding in strategy, ...) { body }` becomes a `#[test]`
+/// running [`NUM_CASES`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($parm:pat in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::NUM_CASES {
+                    let _ = __case;
+                    $(let $parm = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn patterns_match_shape(s in "[a-z]{2,5}", t in "[a-z]=[0-9]{1,3}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let (k, v) = t.split_once('=').unwrap();
+            prop_assert_eq!(k.len(), 1);
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert!(v.chars().all(|c| c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn groups_and_options(s in "[a-z]{1,3}( [a-z]{1,3}){0,2}", o in crate::option::of("[a-z]{1,2}")) {
+            prop_assert!(!s.is_empty());
+            if let Some(inner) = o {
+                prop_assert!(!inner.is_empty() && inner.len() <= 2);
+            }
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..10, f in -2.0f64..2.0, m in 1u8..=12) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((1..=12).contains(&m));
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in crate::collection::vec(0u32..5, 2..6), s in crate::collection::btree_set("[a-z]{3,6}", 0..4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| *x < 5));
+            prop_assert!(s.len() < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        let strat = "[a-z]{4,9}";
+        for _ in 0..16 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

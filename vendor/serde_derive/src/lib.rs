@@ -1,0 +1,514 @@
+//! A self-contained `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` shim, written against raw `proc_macro` tokens (no `syn`/`quote`,
+//! which are unavailable offline).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (`#[serde(skip)]` on fields);
+//! * newtype / tuple structs;
+//! * enums with unit, newtype, tuple and struct variants (externally tagged,
+//!   serde's default representation);
+//! * the container attribute `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Generics are not supported and produce a compile error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+    /// `try_from = "T"` / `into = "T"` container conversion type, if any.
+    convert_via: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Extract the string payloads of any `#[serde(...)]` attributes from a
+/// token slice, advancing past attributes and returning the new cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, serde_attrs: &mut Vec<String>) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                serde_attrs.push(args.stream().to_string());
+                            }
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut container_attrs = Vec::new();
+    let mut i = skip_attrs(&tokens, 0, &mut container_attrs);
+    i = skip_vis(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline shim");
+        }
+    }
+
+    let convert_via = container_attrs
+        .iter()
+        .find_map(|a| extract_quoted(a, "try_from").or_else(|| extract_quoted(a, "into")));
+
+    let shape = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_top_level_fields(g.stream())))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        }
+    } else if keyword == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        }
+    } else {
+        panic!("serde_derive: cannot derive for `{keyword} {name}`");
+    };
+
+    Input {
+        name,
+        shape,
+        convert_via,
+    }
+}
+
+/// Pull `key = "Value"` out of a serde attribute payload string.
+fn extract_quoted(attr: &str, key: &str) -> Option<String> {
+    let pos = attr.find(key)?;
+    let rest = &attr[pos + key.len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut serde_attrs = Vec::new();
+        i = skip_attrs(&tokens, i, &mut serde_attrs);
+        i = skip_vis(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let field_name = id.to_string();
+        i += 1;
+        // Expect `:` then skip the type up to a top-level comma. Angle
+        // brackets arrive as plain puncts, so track their depth.
+        debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'));
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let skip = serde_attrs
+            .iter()
+            .any(|a| a.split(',').any(|p| p.trim() == "skip"));
+        fields.push(Field {
+            name: field_name,
+            skip,
+        });
+    }
+    Fields::Named(fields)
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut serde_attrs = Vec::new();
+        i = skip_attrs(&tokens, i, &mut serde_attrs);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let variant_name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip everything (e.g. discriminants) up to the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant {
+            name: variant_name,
+            fields,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(via) = &input.convert_via {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     let __via: {via} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::serialize(&__via)\n\
+                 }}\n\
+             }}\n"
+        );
+    }
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__map.insert(\"{0}\".to_string(), ::serde::Serialize::serialize(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__map)");
+            s
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "Self::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut inner = String::from("let mut __m = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__m.insert(\"{0}\".to_string(), ::serde::Serialize::serialize({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {} }} => {{\n{inner}\
+                                 let mut __outer = ::serde::Map::new();\n\
+                                 __outer.insert(\"{vname}\".to_string(), ::serde::Value::Object(__m));\n\
+                                 ::serde::Value::Object(__outer)\n\
+                             }},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "Self::{vname}(__f0) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vname}\".to_string(), ::serde::Serialize::serialize(__f0));\n\
+                             ::serde::Value::Object(__outer)\n\
+                         }},\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{vname}({}) => {{\n\
+                                 let mut __outer = ::serde::Map::new();\n\
+                                 __outer.insert(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]));\n\
+                                 ::serde::Value::Object(__outer)\n\
+                             }},\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(via) = &input.convert_via {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let __via: {via} = ::serde::Deserialize::deserialize(__value)?;\n\
+                     ::std::convert::TryFrom::try_from(__via).map_err(::serde::Error::custom)\n\
+                 }}\n\
+             }}\n"
+        );
+    }
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::field(__obj, \"{0}\", \"{name}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 Ok(Self {{\n{inits}}})"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            "Ok(Self(::serde::Deserialize::deserialize(__value)?))".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut inits = Vec::new();
+            for i in 0..*n {
+                inits.push(format!(
+                    "::serde::Deserialize::deserialize(__arr.get({i}).ok_or_else(|| ::serde::Error::expected(\"array of {n}\", \"{name}\"))?)?"
+                ));
+            }
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 Ok(Self({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => "Ok(Self)".to_string(),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms
+                        .push_str(&format!("\"{vname}\" => Ok(Self::{vname}),\n")),
+                    Fields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::field(__inner, \"{0}\", \"{name}::{vname}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __inner = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                                 Ok(Self::{vname} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => Ok(Self::{vname}(::serde::Deserialize::deserialize(__v)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut inits = Vec::new();
+                        for i in 0..*n {
+                            inits.push(format!(
+                                "::serde::Deserialize::deserialize(__arr.get({i}).ok_or_else(|| ::serde::Error::expected(\"array of {n}\", \"{name}::{vname}\"))?)?"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __arr = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                                 Ok(Self::{vname}({}))\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                         __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = __m.iter().next().expect(\"len checked\");\n\
+                         match __k.as_str() {{\n{data_arms}\
+                             __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => Err(::serde::Error::expected(\"string or single-key object\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
