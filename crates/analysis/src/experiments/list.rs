@@ -3,7 +3,7 @@
 use crate::experiments::Experiment;
 use crate::report::{Report, Series, TextTable};
 use crate::scenario::Scenario;
-use rws_domain::{DomainName, SiteResolver, SldComparison};
+use rws_domain::{DomainName, SldComparison};
 use rws_html::similarity::{DocumentProfile, SimilarityWeights};
 use rws_model::MemberRole;
 use rws_stats::parallel::par_map;
@@ -17,15 +17,18 @@ pub struct Figure3;
 impl Figure3 {
     /// The per-role edit-distance samples underlying the figure.
     ///
-    /// The pairwise sweep runs in parallel; the shared [`SiteResolver`]
+    /// The pairwise sweep runs in parallel on the scenario's engine; its
+    /// shared [`SiteResolver`] — already warm from scenario generation —
     /// memoizes each primary's SLD across all of its member pairs.
     pub fn distances(scenario: &Scenario) -> (Vec<f64>, Vec<f64>) {
-        let resolver = SiteResolver::embedded();
+        let resolver = scenario.engine.resolver();
         let pairs = scenario.corpus.list.member_primary_pairs();
-        let comparisons = par_map(&pairs, |_, (primary, member, role)| {
-            SldComparison::compute_cached(member, primary, &resolver)
-                .map(|comparison| (*role, comparison.edit_distance as f64))
-        });
+        let comparisons = scenario
+            .engine
+            .par_map(&pairs, |_, (primary, member, role)| {
+                SldComparison::compute_cached(member, primary, resolver)
+                    .map(|comparison| (*role, comparison.edit_distance as f64))
+            });
         let mut service = Vec::new();
         let mut associated = Vec::new();
         for entry in comparisons.into_iter().flatten() {

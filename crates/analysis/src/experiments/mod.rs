@@ -8,7 +8,10 @@ use crate::report::Report;
 use crate::scenario::Scenario;
 
 /// A reproducible experiment: one table or figure of the paper.
-pub trait Experiment {
+///
+/// Experiments are stateless (`Send + Sync`), so `run_all` can execute
+/// them concurrently over one shared scenario.
+pub trait Experiment: Send + Sync {
     /// Stable identifier (`table1`, `figure4`, …).
     fn id(&self) -> &'static str;
 

@@ -1,23 +1,36 @@
 //! The end-to-end paper reproduction: run every experiment over one shared
-//! scenario.
+//! scenario. The scenario is generated through the staged pipeline on the
+//! reproduction's [`EngineContext`], and [`run_all`](PaperReproduction::run_all)
+//! executes the twelve experiments on the same pool — each experiment is one
+//! coarse task, and the sweeps inside it fan out again on the shared workers.
 
 use crate::experiments::all_experiments;
 pub use crate::experiments::Experiment;
 use crate::report::Report;
 use crate::scenario::{Scenario, ScenarioConfig};
+use rws_engine::EngineContext;
 
 /// Runs the full set of experiments over a lazily-generated scenario.
 pub struct PaperReproduction {
     config: ScenarioConfig,
+    engine: EngineContext,
     scenario: std::cell::OnceCell<Scenario>,
 }
 
 impl PaperReproduction {
-    /// Create a reproduction for a configuration. The scenario is generated
-    /// on first use and shared across experiments.
+    /// Create a reproduction for a configuration on the production engine.
+    /// The scenario is generated on first use and shared across experiments.
     pub fn new(config: ScenarioConfig) -> PaperReproduction {
+        PaperReproduction::with_engine(config, EngineContext::new())
+    }
+
+    /// Create a reproduction on an explicit engine — e.g.
+    /// [`EngineContext::sequential`] for the equivalence tests and the
+    /// pooled-vs-sequential bench.
+    pub fn with_engine(config: ScenarioConfig, engine: EngineContext) -> PaperReproduction {
         PaperReproduction {
             config,
+            engine,
             scenario: std::cell::OnceCell::new(),
         }
     }
@@ -32,10 +45,15 @@ impl PaperReproduction {
         &self.config
     }
 
+    /// The engine the reproduction runs on.
+    pub fn engine(&self) -> &EngineContext {
+        &self.engine
+    }
+
     /// The generated scenario (generating it on first access).
     pub fn scenario(&self) -> &Scenario {
         self.scenario
-            .get_or_init(|| Scenario::generate(self.config))
+            .get_or_init(|| Scenario::generate_with(self.config, &self.engine))
     }
 
     /// The experiment ids available, in paper order.
@@ -49,10 +67,14 @@ impl PaperReproduction {
         Some(experiment.run(self.scenario()))
     }
 
-    /// Run every experiment, in paper order.
+    /// Run every experiment, in paper order. The experiments execute
+    /// concurrently on the engine's pool (one coarse task each); reports
+    /// come back in paper order regardless of completion order.
     pub fn run_all(&self) -> Vec<Report> {
         let scenario = self.scenario();
-        all_experiments().iter().map(|e| e.run(scenario)).collect()
+        let experiments = all_experiments();
+        self.engine
+            .par_map_coarse(&experiments, |_, experiment| experiment.run(scenario))
     }
 
     /// Render every report as one text document — what the examples print

@@ -1,8 +1,27 @@
 //! Scenario construction: generate every simulated input once and share it
 //! across experiments.
+//!
+//! Since PR 2, [`Scenario::generate`] is an explicit staged pipeline over a
+//! shared [`EngineContext`]:
+//!
+//! ```text
+//! corpus ──┬── history ── snapshots
+//!          └── categories ── pairs ── survey
+//! ```
+//!
+//! The corpus comes first (everything reads it); then the two independent
+//! chains — governance history followed by list snapshots, and
+//! classification followed by pair construction and the survey — run
+//! concurrently on the context's thread pool, each internally fanning out
+//! again (per-submitter history replays, per-page corpus rendering). Every
+//! stage draws from derived rng streams keyed by task identity, so the
+//! pooled pipeline is field-for-field identical to
+//! [`Scenario::generate_sequential`], which the equivalence property tests
+//! assert across seeds.
 
 use rws_classify::CategoryDatabase;
 use rws_corpus::{Corpus, CorpusConfig, CorpusGenerator};
+use rws_engine::EngineContext;
 use rws_github::{HistoryConfig, HistoryGenerator, PrHistory, PrState};
 use rws_model::{ListSnapshot, RwsList, SnapshotSeries};
 use rws_stats::rng::Xoshiro256StarStar;
@@ -62,6 +81,10 @@ impl ScenarioConfig {
 pub struct Scenario {
     /// The configuration the scenario was generated from.
     pub config: ScenarioConfig,
+    /// The engine the scenario was generated on; experiments reuse its
+    /// pool and its memoized site resolver (already warm with every host
+    /// the generation stages resolved).
+    pub engine: EngineContext,
     /// The synthetic corpus (RWS list, sites, pages, top sites, web).
     pub corpus: Corpus,
     /// Categories assigned by the keyword classifier (the analogue of the
@@ -78,21 +101,52 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Generate a scenario.
+    /// Generate a scenario on the production engine (global pool, full
+    /// vendored PSL).
     pub fn generate(config: ScenarioConfig) -> Scenario {
-        let corpus = CorpusGenerator::new(config.corpus).generate();
-        let categories = CategoryDatabase::classify_corpus(&corpus);
-        let history = HistoryGenerator::new(config.history).generate(&corpus);
-        let snapshots = Scenario::snapshots_from_history(&corpus, &history, config);
+        Scenario::generate_with(config, &EngineContext::new())
+    }
 
-        let mut pair_rng = Xoshiro256StarStar::new(config.survey.seed).derive("pair-universe");
-        let mut pair_generator = PairGenerator::new(&corpus, &categories);
-        pair_generator.top_site_sample = config.top_site_sample;
-        let pairs = pair_generator.generate(&mut pair_rng);
-        let survey = SurveyRunner::new(config.survey).run(&corpus, &pairs);
+    /// Generate a scenario with every stage running inline on the calling
+    /// thread — the sequential oracle the pooled pipeline is
+    /// property-tested against.
+    pub fn generate_sequential(config: ScenarioConfig) -> Scenario {
+        Scenario::generate_with(config, &EngineContext::sequential())
+    }
+
+    /// Generate a scenario as a staged pipeline on the given engine: the
+    /// corpus first, then the governance chain (history → snapshots) and
+    /// the survey chain (categories → pairs → survey) concurrently.
+    ///
+    /// The two chains are independent: the survey chain reads only the
+    /// corpus's sites and pages, while the history chain's side effects on
+    /// the shared web are confined to hosts named after its own submitters.
+    /// Output is identical whether the engine is pooled or sequential.
+    pub fn generate_with(config: ScenarioConfig, ctx: &EngineContext) -> Scenario {
+        let corpus = CorpusGenerator::new(config.corpus).generate_with(ctx);
+
+        let ((history, snapshots), (categories, pairs, survey)) = ctx.join2(
+            || {
+                let history = HistoryGenerator::new(config.history).generate_with(&corpus, ctx);
+                let snapshots = Scenario::snapshots_from_history(&corpus, &history, config);
+                (history, snapshots)
+            },
+            || {
+                let categories = CategoryDatabase::classify_corpus(&corpus);
+                let mut pair_rng =
+                    Xoshiro256StarStar::new(config.survey.seed).derive("pair-universe");
+                let mut pair_generator = PairGenerator::new(&corpus, &categories);
+                pair_generator.top_site_sample = config.top_site_sample;
+                let pairs = pair_generator.generate(&mut pair_rng);
+                let survey =
+                    SurveyRunner::new(config.survey).run_with(&corpus, &pairs, ctx.resolver());
+                (categories, pairs, survey)
+            },
+        );
 
         Scenario {
             config,
+            engine: ctx.clone(),
             corpus,
             categories,
             history,

@@ -1,0 +1,55 @@
+//! End-to-end pipeline benches: the full `run_all` and the staged
+//! `Scenario::generate` pipeline, pooled vs sequential.
+//!
+//! * `run_all_pooled` / `run_all_sequential` — the twelve experiments over
+//!   one pre-generated scenario, fanned out on the engine pool vs run one
+//!   by one inline;
+//! * `scenario_pipeline_pooled` / `scenario_pipeline_sequential` — scenario
+//!   generation through the staged pipeline (corpus → {history+snapshots ∥
+//!   categories+pairs+survey}) vs the same stages inline.
+//!
+//! On a multi-core runner the pooled variants should show a wall-clock
+//! speedup; on a single core they must cost no more than the sequential
+//! path (the pool degenerates to the caller running everything).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rws_analysis::{PaperReproduction, Scenario, ScenarioConfig};
+use rws_engine::EngineContext;
+
+fn bench_run_all(c: &mut Criterion) {
+    let config = ScenarioConfig::small(61);
+    let pooled = PaperReproduction::with_engine(config, EngineContext::new());
+    let sequential = PaperReproduction::with_engine(config, EngineContext::sequential());
+    // Generate both scenarios up front so the bench prices only run_all.
+    let _ = pooled.scenario();
+    let _ = sequential.scenario();
+
+    let mut group = c.benchmark_group("end_to_end_run_all");
+    group.sample_size(10);
+    group.bench_function("run_all_pooled", |b| {
+        b.iter(|| std::hint::black_box(pooled.run_all()))
+    });
+    group.bench_function("run_all_sequential", |b| {
+        b.iter(|| std::hint::black_box(sequential.run_all()))
+    });
+    group.finish();
+}
+
+fn bench_scenario_pipeline(c: &mut Criterion) {
+    let config = ScenarioConfig::small(7);
+    let pooled_ctx = EngineContext::new();
+    let sequential_ctx = pooled_ctx.sequential_twin();
+
+    let mut group = c.benchmark_group("end_to_end_scenario");
+    group.sample_size(10);
+    group.bench_function("scenario_pipeline_pooled", |b| {
+        b.iter(|| std::hint::black_box(Scenario::generate_with(config, &pooled_ctx)))
+    });
+    group.bench_function("scenario_pipeline_sequential", |b| {
+        b.iter(|| std::hint::black_box(Scenario::generate_with(config, &sequential_ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_all, bench_scenario_pipeline);
+criterion_main!(benches);

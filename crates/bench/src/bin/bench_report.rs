@@ -8,9 +8,11 @@
 //! Usage: `cargo run --release -p rws-bench --bin bench_report [-- N]`
 //! (N defaults to 1, producing `BENCH_1.json` in the current directory).
 
+use rws_analysis::{PaperReproduction, Scenario, ScenarioConfig};
 use rws_bench::{bench_scenario, domain_pairs};
 use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
 use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
+use rws_engine::EngineContext;
 use rws_html::similarity::{html_similarity_naive, DocumentProfile, SimilarityWeights};
 use serde_json::{json, Map, Value};
 use std::hint::black_box;
@@ -211,9 +213,92 @@ fn main() {
     kernels.insert("figure3_sweep".into(), json!(fig3_ns));
     kernels.insert("figure4_sweep".into(), json!(fig4_ns));
 
+    // --- parallel sweeps: persistent pool vs spawn-per-call ----------------
+    // The same element-granularity work stealing, dispatched to the
+    // persistent pool vs spawning scoped threads on every call (the PR-1
+    // implementation, retained as the baseline).
+    let sweep_items: Vec<u64> = (0..4096).collect();
+    let sweep = |i: usize, v: &u64| {
+        let mut acc = *v;
+        for _ in 0..64 {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .rotate_left((i % 63) as u32);
+        }
+        acc
+    };
+    let pooled_sweep_ns = measure(|| {
+        black_box(rws_stats::parallel::par_map_coarse(&sweep_items, sweep));
+    });
+    let spawn_sweep_ns = measure(|| {
+        black_box(rws_stats::parallel::par_map_spawn_per_call(
+            &sweep_items,
+            sweep,
+        ));
+    });
+    kernels.insert("par_map_pooled_4k".into(), json!(pooled_sweep_ns));
+    kernels.insert("par_map_spawn_per_call_4k".into(), json!(spawn_sweep_ns));
+    speedups.insert(
+        "par_map_pool_vs_spawn".into(),
+        json!(spawn_sweep_ns / pooled_sweep_ns),
+    );
+
+    // --- staged scenario pipeline: pooled vs sequential --------------------
+    let small = ScenarioConfig::small(7);
+    let pooled_ctx = EngineContext::new();
+    let sequential_ctx = pooled_ctx.sequential_twin();
+    let scenario_pooled_ns = measure(|| {
+        black_box(Scenario::generate_with(small, &pooled_ctx));
+    });
+    let scenario_sequential_ns = measure(|| {
+        black_box(Scenario::generate_with(small, &sequential_ctx));
+    });
+    kernels.insert("scenario_pipeline_pooled".into(), json!(scenario_pooled_ns));
+    kernels.insert(
+        "scenario_pipeline_sequential".into(),
+        json!(scenario_sequential_ns),
+    );
+    speedups.insert(
+        "scenario_pipeline_pooled_vs_sequential".into(),
+        json!(scenario_sequential_ns / scenario_pooled_ns),
+    );
+
+    // --- run_all end-to-end: pooled vs sequential --------------------------
+    let repro_pooled = PaperReproduction::with_engine(small, EngineContext::new());
+    let repro_sequential = PaperReproduction::with_engine(small, EngineContext::sequential());
+    let _ = repro_pooled.scenario();
+    let _ = repro_sequential.scenario();
+    let run_all_pooled_ns = measure(|| {
+        black_box(repro_pooled.run_all());
+    });
+    let run_all_sequential_ns = measure(|| {
+        black_box(repro_sequential.run_all());
+    });
+    kernels.insert("run_all_pooled".into(), json!(run_all_pooled_ns));
+    kernels.insert("run_all_sequential".into(), json!(run_all_sequential_ns));
+    speedups.insert(
+        "run_all_pooled_vs_sequential".into(),
+        json!(run_all_sequential_ns / run_all_pooled_ns),
+    );
+
     let mut resolver_cache = Map::new();
     resolver_cache.insert("hits".into(), json!(resolver_stats.hits));
     resolver_cache.insert("misses".into(), json!(resolver_stats.misses));
+    let mut engine = Map::new();
+    engine.insert(
+        "pool_workers".into(),
+        json!(rws_stats::ThreadPool::global().worker_count() as u64),
+    );
+    engine.insert(
+        "available_parallelism".into(),
+        json!(std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1) as u64),
+    );
+    engine.insert(
+        "full_psl_rules".into(),
+        json!(PublicSuffixList::full().rule_count() as u64),
+    );
     let report = json!({
         "schema": "rws-bench-trajectory/1",
         "bench_index": index as u64,
@@ -221,6 +306,7 @@ fn main() {
         "kernels": Value::Object(kernels),
         "speedups": Value::Object(speedups),
         "resolver_cache": Value::Object(resolver_cache),
+        "engine": Value::Object(engine),
     });
     let path = format!("BENCH_{index}.json");
     let text = serde_json::to_string_pretty(&report).expect("serialisable");

@@ -10,7 +10,7 @@
 
 use crate::browser::{Browser, PromptBehaviour};
 use crate::policy::{StorageAccessPolicy, VendorPolicy};
-use rws_domain::DomainName;
+use rws_domain::{DomainName, SiteResolver};
 use rws_model::RwsList;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -66,7 +66,28 @@ pub fn linkability_report(
     tracker: &DomainName,
     prompt_behaviour: PromptBehaviour,
 ) -> LinkabilityReport {
-    let mut browser = Browser::new(vendor, list.clone());
+    linkability_report_with_resolver(
+        vendor,
+        list,
+        top_level_sites,
+        tracker,
+        prompt_behaviour,
+        &SiteResolver::embedded(),
+    )
+}
+
+/// [`linkability_report`] with a shared memoizing [`SiteResolver`]: every
+/// browser in a sweep resolves the same trace hosts, so one shared memo
+/// table answers all but the first replay's lookups.
+pub fn linkability_report_with_resolver(
+    vendor: VendorPolicy,
+    list: &RwsList,
+    top_level_sites: &[DomainName],
+    tracker: &DomainName,
+    prompt_behaviour: PromptBehaviour,
+    resolver: &SiteResolver,
+) -> LinkabilityReport {
+    let mut browser = Browser::with_resolver(vendor, list.clone(), resolver.clone());
     browser.set_prompt_behaviour(prompt_behaviour);
 
     // The user has visited the tracker's own site at some point in the past
@@ -112,9 +133,35 @@ pub fn linkability_by_vendor(
     tracker: &DomainName,
     prompt_behaviour: PromptBehaviour,
 ) -> Vec<LinkabilityReport> {
+    linkability_by_vendor_with_resolver(
+        list,
+        top_level_sites,
+        tracker,
+        prompt_behaviour,
+        &SiteResolver::embedded(),
+    )
+}
+
+/// [`linkability_by_vendor`] with a shared memoizing [`SiteResolver`]
+/// handed to every vendor's browser, so the fan-out resolves each trace
+/// host once instead of once per vendor.
+pub fn linkability_by_vendor_with_resolver(
+    list: &RwsList,
+    top_level_sites: &[DomainName],
+    tracker: &DomainName,
+    prompt_behaviour: PromptBehaviour,
+    resolver: &SiteResolver,
+) -> Vec<LinkabilityReport> {
     let vendors = VendorPolicy::ALL;
     rws_stats::parallel::par_map_coarse(&vendors, |_, vendor| {
-        linkability_report(*vendor, list, top_level_sites, tracker, prompt_behaviour)
+        linkability_report_with_resolver(
+            *vendor,
+            list,
+            top_level_sites,
+            tracker,
+            prompt_behaviour,
+            resolver,
+        )
     })
 }
 
@@ -292,6 +339,26 @@ mod tests {
             );
             assert_eq!(parallel, &sequential, "mismatch for {}", vendor.name());
         }
+    }
+
+    #[test]
+    fn shared_resolver_sweep_matches_and_hits_cache() {
+        let list = rws_list();
+        let trace = trace();
+        let tracker = dn("tracker.example");
+        let resolver = SiteResolver::embedded();
+        let shared = linkability_by_vendor_with_resolver(
+            &list,
+            &trace,
+            &tracker,
+            PromptBehaviour::AlwaysDecline,
+            &resolver,
+        );
+        let fresh = linkability_by_vendor(&list, &trace, &tracker, PromptBehaviour::AlwaysDecline);
+        assert_eq!(shared, fresh);
+        // Five vendors resolved the same trace: all repeats hit the cache.
+        let stats = resolver.stats();
+        assert!(stats.hits > stats.misses, "stats {stats:?}");
     }
 
     #[test]

@@ -20,10 +20,10 @@ use crate::category::SiteCategory;
 use crate::site::{Language, SiteRole, SiteSpec};
 use crate::template::{render_about_page, render_site};
 use crate::tranco::TrancoList;
-use rws_domain::{DomainName, SiteResolver};
+use rws_domain::DomainName;
+use rws_engine::EngineContext;
 use rws_model::{RwsList, RwsSet, WellKnownFile};
 use rws_net::{SimulatedWeb, SiteHost, WELL_KNOWN_RWS_PATH};
-use rws_stats::parallel::par_map;
 use rws_stats::rng::{Rng, Xoshiro256StarStar};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
@@ -219,10 +219,18 @@ impl CorpusGenerator {
         CorpusGenerator { config }
     }
 
-    /// Generate the full corpus.
+    /// Generate the full corpus on a default (embedded-snapshot) context.
     pub fn generate(&self) -> Corpus {
+        self.generate_with(&EngineContext::embedded())
+    }
+
+    /// Generate the full corpus, resolving sites through the context's
+    /// shared [`rws_engine::SiteResolver`] and rendering pages on its pool.
+    /// Output bytes depend only on the configuration — never on the
+    /// context's execution mode.
+    pub fn generate_with(&self, ctx: &EngineContext) -> Corpus {
         let cfg = self.config;
-        let resolver = SiteResolver::embedded();
+        let resolver = ctx.resolver();
         let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("corpus");
         let mut used_domains: HashSet<DomainName> = HashSet::new();
         let mut sites: BTreeMap<DomainName, SiteSpec> = BTreeMap::new();
@@ -434,7 +442,7 @@ impl CorpusGenerator {
         // hosts can be built in parallel and registered in order without
         // changing a single output byte.
         let specs: Vec<&SiteSpec> = sites.values().collect();
-        let hosts = par_map(&specs, |_, spec| {
+        let hosts = ctx.par_map(&specs, |_, spec| {
             let mut host = SiteHost::for_domain(spec.domain.clone());
             if !spec.live {
                 host.set_offline(true);

@@ -228,6 +228,17 @@ impl PublicSuffixList {
         PublicSuffixList::parse(EMBEDDED_PSL_SNAPSHOT)
     }
 
+    /// The full-scale vendored snapshot (~9k rules; see
+    /// [`FULL_PSL_SNAPSHOT`]), parsed into the label trie exactly once per
+    /// process. This is the list production contexts run on: at this rule
+    /// count the trie walk's advantage over the linear scan is realised,
+    /// while the small [`embedded`](Self::embedded) snapshot remains the
+    /// deterministic fixture the unit tests pin down.
+    pub fn full() -> &'static PublicSuffixList {
+        static FULL: std::sync::OnceLock<PublicSuffixList> = std::sync::OnceLock::new();
+        FULL.get_or_init(|| PublicSuffixList::parse(FULL_PSL_SNAPSHOT))
+    }
+
     /// Number of rules loaded.
     pub fn rule_count(&self) -> usize {
         self.rule_count
@@ -427,6 +438,13 @@ impl DomainName {
         psl.registrable_domain(self)
     }
 }
+
+/// Full-scale vendored Public Suffix List snapshot (~9k rules): the real
+/// TLD inventory with per-ccTLD second-level registrations and a private
+/// section, generated offline at the scale of the authoritative list. A
+/// behavioural superset of [`EMBEDDED_PSL_SNAPSHOT`] for every host the
+/// workspace generates. Parsed lazily via [`PublicSuffixList::full`].
+pub const FULL_PSL_SNAPSHOT: &str = include_str!("full_psl_snapshot.txt");
 
 /// Embedded Public Suffix List snapshot.
 ///
@@ -766,6 +784,65 @@ mod tests {
         let host = dn("news.bild.de");
         assert_eq!(host.site(&p).unwrap(), dn("bild.de"));
         assert_eq!(host.second_level_label(&p).unwrap(), "bild");
+    }
+
+    #[test]
+    fn full_snapshot_loads_at_scale() {
+        let full = PublicSuffixList::full();
+        assert!(
+            full.rule_count() >= 8000,
+            "full snapshot has only {} rules",
+            full.rule_count()
+        );
+        // Parsed once: repeated calls return the same instance.
+        assert!(std::ptr::eq(full, PublicSuffixList::full()));
+    }
+
+    #[test]
+    fn full_snapshot_agrees_with_embedded_on_study_hosts() {
+        let full = PublicSuffixList::full();
+        let embedded = psl();
+        for host in [
+            "example.com",
+            "www.example.com",
+            "shop.example.co.uk",
+            "example.co.uk",
+            "news.bild.de",
+            "a.b.kawasaki.jp",
+            "city.kawasaki.jp",
+            "www.ck",
+            "wombat.ck",
+            "myproject.github.io",
+            "example.com.au",
+            "blog.alphamedia1.fr",
+            "hopeful-submitter-3.com",
+        ] {
+            let host = dn(host);
+            assert_eq!(
+                full.registrable_domain(&host),
+                embedded.registrable_domain(&host),
+                "full and embedded snapshots disagree on {host}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_snapshot_covers_cctld_second_level_registrations() {
+        let full = PublicSuffixList::full();
+        // Second-level registrations the embedded snapshot never carried.
+        assert!(full.is_public_suffix(&dn("com.sa")));
+        assert!(full.is_public_suffix(&dn("org.eg")));
+        assert_eq!(
+            full.registrable_domain(&dn("www.example.com.ng")).unwrap(),
+            dn("example.com.ng")
+        );
+        // Wildcard ccTLDs resolve per the real list's shape: any label
+        // directly under the TLD is itself a public suffix.
+        assert!(full.is_public_suffix(&dn("anything.bd")));
+        assert_eq!(
+            full.registrable_domain(&dn("shop.example.mm")).unwrap(),
+            dn("shop.example.mm")
+        );
     }
 
     #[test]

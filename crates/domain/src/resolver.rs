@@ -8,14 +8,22 @@
 //! concurrent memo table so each distinct host pays for trie matching and
 //! the site-name allocation exactly once.
 //!
-//! The resolver is `Send + Sync`; parallel sweeps share one instance.
+//! The resolver is `Send + Sync`; parallel sweeps share one instance. The
+//! memo table is *sharded*: hosts hash onto [`SHARD_COUNT`] independent
+//! locks, so pool workers hammering the cache from every core contend on
+//! 1/16th of the key space instead of a single global lock.
 
 use crate::error::DomainError;
 use crate::name::DomainName;
 use crate::psl::PublicSuffixList;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of independent cache shards (must be a power of two).
+const SHARD_COUNT: usize = 16;
+
+type Shard = RwLock<HashMap<DomainName, Result<DomainName, DomainError>>>;
 
 /// A shared, memoizing wrapper around [`PublicSuffixList`].
 ///
@@ -28,9 +36,20 @@ pub struct SiteResolver {
 #[derive(Debug)]
 struct ResolverInner {
     psl: PublicSuffixList,
-    cache: RwLock<HashMap<DomainName, Result<DomainName, DomainError>>>,
+    shards: [Shard; SHARD_COUNT],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// FNV-1a over the host string, folded to a shard index. Stable across
+/// platforms so sharding never perturbs observable behaviour.
+fn shard_index(host: &DomainName) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in host.as_str().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARD_COUNT - 1)
 }
 
 /// Cache hit/miss counters, for observability and the perf acceptance
@@ -49,7 +68,7 @@ impl SiteResolver {
         SiteResolver {
             inner: Arc::new(ResolverInner {
                 psl,
-                cache: RwLock::new(HashMap::new()),
+                shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
             }),
@@ -61,6 +80,16 @@ impl SiteResolver {
         SiteResolver::new(PublicSuffixList::embedded())
     }
 
+    /// The process-wide resolver over the full vendored PSL snapshot
+    /// ([`PublicSuffixList::full`]). Returns a clone of one shared handle,
+    /// so every production context in the process feeds (and profits from)
+    /// the same memo table.
+    pub fn full() -> SiteResolver {
+        static FULL: OnceLock<SiteResolver> = OnceLock::new();
+        FULL.get_or_init(|| SiteResolver::new(PublicSuffixList::full().clone()))
+            .clone()
+    }
+
     /// The wrapped Public Suffix List.
     pub fn psl(&self) -> &PublicSuffixList {
         &self.inner.psl
@@ -68,8 +97,9 @@ impl SiteResolver {
 
     /// The registrable domain (eTLD+1, the "site") of a host, memoized.
     pub fn registrable_domain(&self, host: &DomainName) -> Result<DomainName, DomainError> {
+        let shard = &self.inner.shards[shard_index(host)];
         {
-            let cache = self.inner.cache.read().expect("resolver cache poisoned");
+            let cache = shard.read().expect("resolver cache poisoned");
             if let Some(result) = cache.get(host) {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 return result.clone();
@@ -77,7 +107,7 @@ impl SiteResolver {
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.inner.psl.registrable_domain(host);
-        let mut cache = self.inner.cache.write().expect("resolver cache poisoned");
+        let mut cache = shard.write().expect("resolver cache poisoned");
         cache.insert(host.clone(), result.clone());
         result
     }
@@ -119,13 +149,13 @@ impl SiteResolver {
         }
     }
 
-    /// Number of distinct hosts memoized.
+    /// Number of distinct hosts memoized, across all shards.
     pub fn cached_hosts(&self) -> usize {
         self.inner
-            .cache
-            .read()
-            .expect("resolver cache poisoned")
-            .len()
+            .shards
+            .iter()
+            .map(|shard| shard.read().expect("resolver cache poisoned").len())
+            .sum()
     }
 }
 
@@ -215,6 +245,35 @@ mod tests {
         assert_eq!(
             resolver.second_level_label(&dn("news.bild.de")).unwrap(),
             "bild"
+        );
+    }
+
+    #[test]
+    fn sharded_cache_memoizes_many_hosts() {
+        let resolver = SiteResolver::embedded();
+        let hosts: Vec<DomainName> = (0..200)
+            .map(|i| dn(&format!("host{i}.example{}.com", i % 7)))
+            .collect();
+        for host in &hosts {
+            let _ = resolver.registrable_domain(host);
+        }
+        assert_eq!(resolver.cached_hosts(), hosts.len());
+        assert_eq!(resolver.stats().misses, hosts.len() as u64);
+        for host in &hosts {
+            let _ = resolver.registrable_domain(host);
+        }
+        assert_eq!(resolver.stats().hits, hosts.len() as u64);
+        assert_eq!(resolver.stats().misses, hosts.len() as u64);
+    }
+
+    #[test]
+    fn full_resolver_is_one_shared_handle() {
+        let a = SiteResolver::full();
+        let b = SiteResolver::full();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+        assert_eq!(
+            a.registrable_domain(&dn("www.example.com.ng")).unwrap(),
+            dn("example.com.ng")
         );
     }
 

@@ -1,0 +1,294 @@
+//! The execution engine shared by every layer of the reproduction.
+//!
+//! Before this crate, each layer built its own [`SiteResolver`] (the corpus
+//! generator, the browser, the validation bot, the survey runner and the
+//! list experiments all called `SiteResolver::new` independently) and every
+//! parallel sweep spawned fresh scoped threads. [`EngineContext`] bundles
+//! the two process-wide resources those layers actually want to share:
+//!
+//! * a handle to the persistent work-stealing [`ThreadPool`], so nested
+//!   sweeps (a scenario pipeline running experiments that fan out again)
+//!   all execute on one set of workers, and
+//! * a concurrency-safe [`SiteResolver`] (sharded memo cache over the full
+//!   vendored Public Suffix List), so a host's eTLD+1 is computed once for
+//!   the whole pipeline instead of once per layer.
+//!
+//! The context is threaded by reference through `CorpusGenerator`,
+//! `HistoryGenerator`, the survey runner, the linkability sweeps and
+//! `Scenario::generate`; `PaperReproduction::run_all` executes the
+//! experiments on the same pool.
+//!
+//! # Sequential mode
+//!
+//! [`EngineContext::sequential`] returns a context whose `par_*` and
+//! [`join2`](EngineContext::join2) entry points run inline, in order, on
+//! the calling thread. Because every parallel construct in the workspace is
+//! order-deterministic (results keyed by input index, per-task derived
+//! rngs), the sequential context is the *oracle* the property tests compare
+//! the pooled pipeline against: `Scenario::generate` must produce
+//! field-by-field identical output under both.
+
+pub use rws_domain::SiteResolver;
+pub use rws_stats::pool::ThreadPool;
+use rws_stats::pool::{par_map_on, par_map_with_on};
+
+/// How a context executes its parallel entry points.
+#[derive(Debug, Clone)]
+enum ExecMode {
+    /// Fan out on a pool (the caller also helps).
+    Pooled(ThreadPool),
+    /// Run everything inline, in input order — the equivalence oracle.
+    Sequential,
+}
+
+/// Shared execution context: one resolver, one pool, threaded end-to-end.
+///
+/// Cloning is cheap: clones share the same pool workers and the same
+/// resolver memo cache.
+#[derive(Debug, Clone)]
+pub struct EngineContext {
+    mode: ExecMode,
+    resolver: SiteResolver,
+}
+
+impl EngineContext {
+    /// The production context: global thread pool + the process-wide
+    /// resolver over the full vendored PSL snapshot.
+    pub fn new() -> EngineContext {
+        EngineContext {
+            mode: ExecMode::Pooled(ThreadPool::global().clone()),
+            resolver: SiteResolver::full(),
+        }
+    }
+
+    /// Global pool + a resolver over the small embedded PSL snapshot — the
+    /// context unit tests run on (same fixture the seed tests pinned down).
+    pub fn embedded() -> EngineContext {
+        EngineContext {
+            mode: ExecMode::Pooled(ThreadPool::global().clone()),
+            resolver: SiteResolver::embedded(),
+        }
+    }
+
+    /// A context that executes everything inline on the calling thread,
+    /// sharing the production resolver. This is the sequential oracle for
+    /// the parallel-vs-sequential equivalence property tests.
+    pub fn sequential() -> EngineContext {
+        EngineContext {
+            mode: ExecMode::Sequential,
+            resolver: SiteResolver::full(),
+        }
+    }
+
+    /// A context over an explicit pool and resolver.
+    pub fn with_parts(pool: ThreadPool, resolver: SiteResolver) -> EngineContext {
+        EngineContext {
+            mode: ExecMode::Pooled(pool),
+            resolver,
+        }
+    }
+
+    /// Replace the resolver, keeping the execution mode.
+    pub fn with_resolver(mut self, resolver: SiteResolver) -> EngineContext {
+        self.resolver = resolver;
+        self
+    }
+
+    /// A context with the same resolver handle (shared memo cache) but
+    /// inline execution — the per-context twin used when benchmarking or
+    /// property-testing pooled against sequential runs.
+    pub fn sequential_twin(&self) -> EngineContext {
+        EngineContext {
+            mode: ExecMode::Sequential,
+            resolver: self.resolver.clone(),
+        }
+    }
+
+    /// True if parallel entry points run inline.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self.mode, ExecMode::Sequential)
+    }
+
+    /// The shared memoizing site resolver.
+    pub fn resolver(&self) -> &SiteResolver {
+        &self.resolver
+    }
+
+    /// The pool this context fans out on, if it is not sequential.
+    pub fn pool(&self) -> Option<&ThreadPool> {
+        match &self.mode {
+            ExecMode::Pooled(pool) => Some(pool),
+            ExecMode::Sequential => None,
+        }
+    }
+
+    /// Ordered parallel map with the short-input cutoff (see
+    /// [`rws_stats::parallel::MIN_PARALLEL_LEN`]).
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if items.len() < rws_stats::parallel::MIN_PARALLEL_LEN {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        self.par_map_coarse(items, f)
+    }
+
+    /// Ordered parallel map without the cutoff, for coarse per-element
+    /// work (whole-experiment runs, per-set history replays).
+    pub fn par_map_coarse<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        match &self.mode {
+            ExecMode::Pooled(pool) => par_map_on(pool, items, f),
+            ExecMode::Sequential => items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+        }
+    }
+
+    /// Side-effect-only parallel sweep.
+    pub fn par_for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        self.par_map(items, |i, t| f(i, t));
+    }
+
+    /// Ordered parallel map with recycled scratch state (see
+    /// [`rws_stats::parallel::par_map_with`]). Results must depend only on
+    /// `(index, item)` so pooled and sequential runs agree.
+    pub fn par_map_with<S, T, R, F>(&self, state: S, items: &[T], f: F) -> Vec<R>
+    where
+        S: Clone + Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        match &self.mode {
+            ExecMode::Pooled(pool) if items.len() >= rws_stats::parallel::MIN_PARALLEL_LEN => {
+                par_map_with_on(pool, state, items, f)
+            }
+            _ => {
+                let mut scratch = state;
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(&mut scratch, i, t))
+                    .collect()
+            }
+        }
+    }
+
+    /// Run two closures, in parallel when pooled (either may execute on a
+    /// worker thread), or inline in `a`-then-`b` order when sequential.
+    pub fn join2<A, B, FA, FB>(&self, a: FA, b: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        match &self.mode {
+            ExecMode::Pooled(pool) => pool.join2(a, b),
+            ExecMode::Sequential => {
+                let ra = a();
+                let rb = b();
+                (ra, rb)
+            }
+        }
+    }
+}
+
+impl Default for EngineContext {
+    fn default() -> Self {
+        EngineContext::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rws_domain::DomainName;
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn pooled_and_sequential_maps_agree() {
+        let pooled = EngineContext::new();
+        let sequential = pooled.sequential_twin();
+        let items: Vec<u64> = (0..500).collect();
+        let f = |i: usize, v: &u64| v * 13 + i as u64;
+        assert_eq!(pooled.par_map(&items, f), sequential.par_map(&items, f));
+        assert_eq!(
+            pooled.par_map_coarse(&items, f),
+            sequential.par_map_coarse(&items, f)
+        );
+    }
+
+    #[test]
+    fn contexts_share_the_resolver_cache() {
+        let ctx = EngineContext::new();
+        let clone = ctx.clone();
+        let host = dn("engine-shared.example.com");
+        let a = ctx.resolver().registrable_domain(&host).unwrap();
+        let b = clone.resolver().registrable_domain(&host).unwrap();
+        assert_eq!(a, b);
+        // The clone's lookup was answered from the shared cache.
+        assert!(clone.resolver().stats().hits >= 1);
+    }
+
+    #[test]
+    fn sequential_join2_runs_in_order() {
+        let ctx = EngineContext::sequential();
+        assert!(ctx.is_sequential());
+        assert!(ctx.pool().is_none());
+        let log = std::sync::Mutex::new(Vec::new());
+        ctx.join2(
+            || log.lock().unwrap().push("a"),
+            || log.lock().unwrap().push("b"),
+        );
+        assert_eq!(*log.lock().unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn embedded_context_uses_embedded_snapshot() {
+        let ctx = EngineContext::embedded();
+        // The embedded snapshot lacks the full list's com.ng rule.
+        assert_eq!(
+            ctx.resolver()
+                .registrable_domain(&dn("www.example.com.ng"))
+                .unwrap(),
+            dn("com.ng")
+        );
+        let full = EngineContext::new();
+        assert_eq!(
+            full.resolver()
+                .registrable_domain(&dn("www.example.com.ng"))
+                .unwrap(),
+            dn("example.com.ng")
+        );
+    }
+
+    #[test]
+    fn par_map_with_agrees_across_modes() {
+        let pooled = EngineContext::new();
+        let sequential = pooled.sequential_twin();
+        let items: Vec<u32> = (0..200).collect();
+        let f = |buf: &mut Vec<u8>, i: usize, v: &u32| {
+            buf.clear();
+            buf.extend_from_slice(&(v + i as u32).to_le_bytes());
+            buf.iter().map(|b| *b as u32).sum::<u32>()
+        };
+        assert_eq!(
+            pooled.par_map_with(Vec::new(), &items, f),
+            sequential.par_map_with(Vec::new(), &items, f)
+        );
+    }
+}

@@ -8,11 +8,25 @@
 //! The defect mix is weighted to reproduce the bot-message distribution of
 //! Table 3, and the opening dates follow the accelerating submission rate
 //! visible in Figure 5 (March 2023 → March 2024).
+//!
+//! # Parallel replay
+//!
+//! Each submitter's story (their failed attempts, defects, dates and final
+//! outcome) is generated from an rng stream **derived from their primary's
+//! name** — the same per-task derivation pattern the corpus uses for page
+//! rendering. Submitters are therefore independent, the replay fans out
+//! across the engine's thread pool one submitter per task, and the result
+//! is byte-identical no matter how the tasks interleave (or whether they
+//! run sequentially at all). Defect hosts that a submitter stands up on the
+//! shared web carry the submitter's own slug in their name, so concurrent
+//! submitters never write the same host. PR numbers are assigned after the
+//! fan-out, in deterministic (open date, primary, attempt) order.
 
 use crate::pipeline::{GovernancePipeline, ReviewModel};
 use crate::pr::{PrHistory, PullRequest};
 use rws_corpus::Corpus;
 use rws_domain::DomainName;
+use rws_engine::EngineContext;
 use rws_model::{RwsSet, WellKnownFile};
 use rws_net::{SiteHost, WELL_KNOWN_RWS_PATH};
 use rws_stats::rng::{Rng, Xoshiro256StarStar};
@@ -110,16 +124,24 @@ impl HistoryGenerator {
         HistoryGenerator { config }
     }
 
-    /// Generate the history for a corpus. Extra hosts needed by broken
-    /// submissions (e.g. service sites without robots headers) are
-    /// registered on the corpus's simulated web as a side effect, exactly as
-    /// a real submitter would stand up half-configured infrastructure.
+    /// Generate the history for a corpus on a default (embedded-snapshot)
+    /// context. Extra hosts needed by broken submissions (e.g. service
+    /// sites without robots headers) are registered on the corpus's
+    /// simulated web as a side effect, exactly as a real submitter would
+    /// stand up half-configured infrastructure.
     pub fn generate(&self, corpus: &Corpus) -> PrHistory {
+        self.generate_with(corpus, &EngineContext::embedded())
+    }
+
+    /// Generate the history, fanning the independent submitter replays out
+    /// across the context's pool and sharing its site resolver with every
+    /// validation bot. Output is identical whether the context is pooled or
+    /// sequential (each submitter draws from an rng stream derived from its
+    /// primary's name).
+    pub fn generate_with(&self, corpus: &Corpus, ctx: &EngineContext) -> PrHistory {
         let cfg = self.config;
-        let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("github-history");
-        let mut web = corpus.web.clone();
-        let mut pipeline = GovernancePipeline::with_review_model(web.clone(), cfg.review);
-        let mut prs: Vec<PullRequest> = Vec::new();
+        let base = Xoshiro256StarStar::new(cfg.seed).derive("github-history");
+        let web = corpus.web.clone();
 
         // Submission dates accelerate over the window, as in Figure 5: the
         // probability mass of opening dates is proportional to (1 + month
@@ -133,8 +155,22 @@ impl HistoryGenerator {
             Date::new(month.year, month.month, day)
         };
 
-        // --- Successful submitters: every set on the list ------------------
-        for set in corpus.list.sets() {
+        // --- Successful submitters: every set on the list, one independent
+        // rng stream (and one replay task) per set --------------------------
+        let sets: Vec<&RwsSet> = corpus.list.sets().collect();
+        let per_set: Vec<Vec<PullRequest>> = ctx.par_map_coarse(&sets, |_, set| {
+            let mut rng = base.derive(&format!("set:{}", set.primary()));
+            // Handle clone only: `SimulatedWeb` clones share one registry, so
+            // defect hosts land on the shared corpus web from every task
+            // concurrently. That is safe and deterministic because each
+            // submitter's hosts carry its unique primary in their names.
+            let mut web = web.clone();
+            let mut pipeline = GovernancePipeline::with_shared_resolver(
+                web.clone(),
+                cfg.review,
+                ctx.resolver().clone(),
+            );
+            let mut prs = Vec::new();
             let failed_attempts = rng.poisson(cfg.mean_failed_attempts_per_success) as usize;
             let mut dates: Vec<Date> = (0..=failed_attempts).map(|_| draw_date(&mut rng)).collect();
             dates.sort();
@@ -146,10 +182,18 @@ impl HistoryGenerator {
             }
             // The final, correct attempt.
             prs.push(pipeline.process(set, dates[failed_attempts], &mut rng));
-        }
+            prs
+        });
 
-        // --- Never-successful submitters ------------------------------------
-        for i in 0..cfg.never_successful_primaries {
+        // --- Never-successful submitters, one stream per submitter ----------
+        let hopeless: Vec<usize> = (0..cfg.never_successful_primaries).collect();
+        let per_hopeless: Vec<Vec<PullRequest>> = ctx.par_map_coarse(&hopeless, |_, i| {
+            let mut rng = base.derive(&format!("hopeful:{i}"));
+            let mut pipeline = GovernancePipeline::with_shared_resolver(
+                web.clone(),
+                cfg.review,
+                ctx.resolver().clone(),
+            );
             let primary = DomainName::parse(&format!("hopeful-submitter-{i}.com"))
                 .expect("generated primary is valid");
             let mut set = RwsSet::for_primary(primary);
@@ -159,20 +203,36 @@ impl HistoryGenerator {
             )
             .expect("generated members are unique");
             let attempts = 1 + rng.poisson((cfg.mean_attempts_per_failure - 1.0).max(0.0)) as usize;
-            for _ in 0..attempts {
-                // These submitters never stand up .well-known files (their
-                // domains are not even registered on the web), so every
-                // attempt fails the fetch check.
-                prs.push(pipeline.process(&set, draw_date(&mut rng), &mut rng));
-            }
-        }
+            // These submitters never stand up .well-known files (their
+            // domains are not even registered on the web), so every attempt
+            // fails the fetch check.
+            (0..attempts)
+                .map(|_| pipeline.process(&set, draw_date(&mut rng), &mut rng))
+                .collect()
+        });
 
+        // Deterministic global numbering: order every submitter's attempts
+        // by (open date, primary, within-submitter sequence) and number
+        // sequentially, exactly as the repository would have.
+        let mut prs: Vec<PullRequest> = per_set.into_iter().chain(per_hopeless).flatten().collect();
+        prs.sort_by(|a, b| {
+            (a.opened_at, a.primary.as_str(), a.number).cmp(&(
+                b.opened_at,
+                b.primary.as_str(),
+                b.number,
+            ))
+        });
+        for (index, pr) in prs.iter_mut().enumerate() {
+            pr.number = index + 1;
+        }
         PrHistory::new(prs)
     }
 }
 
 /// Produce a broken variant of a valid set, and register any additional
-/// hosts the broken variant needs on the web.
+/// hosts the broken variant needs on the web. Hosts the submitter stands up
+/// carry the submitter's full primary in their name, so parallel submitter
+/// replays never register colliding host names.
 fn apply_defect<R: Rng + ?Sized>(
     set: &RwsSet,
     defect: SubmissionDefect,
@@ -180,13 +240,17 @@ fn apply_defect<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> RwsSet {
     let primary = set.primary().clone();
+    // The full primary (dots folded to dashes) — primaries are unique per
+    // set, so two submitters can never mint the same host name even when
+    // their independent rng streams draw the same tag.
+    let slug = primary.as_str().replace('.', "-");
     let tag = rng.range_u64(1000, 9999);
     match defect {
         SubmissionDefect::MissingWellKnown => {
             // Propose the right members plus one that serves nothing.
             let mut broken = set.clone();
             let _ = broken.add_associated(
-                &format!("https://unconfigured-{tag}.com"),
+                &format!("https://unconfigured-{slug}-{tag}.com"),
                 "new property without a well-known file",
             );
             broken
@@ -201,7 +265,7 @@ fn apply_defect<R: Rng + ?Sized>(
         }
         SubmissionDefect::ServiceWithoutRobotsTag => {
             let mut broken = set.clone();
-            let service = format!("bare-service-{tag}.com");
+            let service = format!("bare-service-{slug}-{tag}.com");
             let _ = broken.add_service(&format!("https://{service}"), "cdn without robots header");
             // The host exists and serves a correct well-known file, but no
             // X-Robots-Tag header.
@@ -217,7 +281,7 @@ fn apply_defect<R: Rng + ?Sized>(
         }
         SubmissionDefect::WellKnownMismatch => {
             let mut broken = set.clone();
-            let member = format!("misconfigured-{tag}.com");
+            let member = format!("misconfigured-{slug}-{tag}.com");
             let _ =
                 broken.add_associated(&format!("https://{member}"), "points at the wrong primary");
             if let Ok(mut host) = SiteHost::new(&member) {
@@ -266,8 +330,9 @@ fn apply_defect<R: Rng + ?Sized>(
             // A set with no members at all cannot miss a rationale; make sure
             // there is at least one member to flag.
             if broken.size() == 1 {
-                let _ = broken
-                    .add_associated_without_rationale(&format!("https://undocumented-{tag}.com"));
+                let _ = broken.add_associated_without_rationale(&format!(
+                    "https://undocumented-{slug}-{tag}.com"
+                ));
             }
             broken
         }
@@ -299,6 +364,29 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.count(PrState::Approved), b.count(PrState::Approved));
         assert_eq!(a.bot_message_counts(), b.bot_message_counts());
+    }
+
+    #[test]
+    fn pooled_and_sequential_replays_are_identical() {
+        let generator = HistoryGenerator::new(HistoryConfig {
+            never_successful_primaries: 7,
+            ..HistoryConfig::default()
+        });
+        let ctx = EngineContext::embedded();
+        let corpus_a = CorpusGenerator::new(CorpusConfig::small(29)).generate_with(&ctx);
+        let pooled = generator.generate_with(&corpus_a, &ctx);
+        let corpus_b =
+            CorpusGenerator::new(CorpusConfig::small(29)).generate_with(&ctx.sequential_twin());
+        let sequential = generator.generate_with(&corpus_b, &ctx.sequential_twin());
+        // Full structural equality: same PRs, same numbers, same reports.
+        assert_eq!(pooled, sequential);
+    }
+
+    #[test]
+    fn pr_numbers_are_sequential_in_open_order() {
+        let (history, _) = small_history();
+        let numbers: Vec<usize> = history.prs().iter().map(|pr| pr.number).collect();
+        assert_eq!(numbers, (1..=history.len()).collect::<Vec<_>>());
     }
 
     #[test]

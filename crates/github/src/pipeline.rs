@@ -67,6 +67,20 @@ impl GovernancePipeline {
         }
     }
 
+    /// Create a pipeline whose validation bot shares an existing memoizing
+    /// site resolver (see [`SetValidator::with_resolver`]).
+    pub fn with_shared_resolver(
+        web: SimulatedWeb,
+        review: ReviewModel,
+        resolver: rws_domain::SiteResolver,
+    ) -> GovernancePipeline {
+        GovernancePipeline {
+            validator: SetValidator::with_resolver(web, Default::default(), resolver),
+            review,
+            next_number: 1,
+        }
+    }
+
     /// The review model in force.
     pub fn review_model(&self) -> ReviewModel {
         self.review

@@ -195,8 +195,21 @@ impl SetValidator {
 
     /// Create a validator with an explicit configuration.
     pub fn with_config(web: SimulatedWeb, config: ValidatorConfig) -> SetValidator {
+        SetValidator::with_resolver(web, config, SiteResolver::embedded())
+    }
+
+    /// Create a validator sharing an existing memoizing [`SiteResolver`]
+    /// instead of constructing its own — the governance pipeline validates
+    /// hundreds of submissions naming the same hosts, and the rest of the
+    /// engine asks the same eTLD+1 questions; one shared cache answers all
+    /// of them.
+    pub fn with_resolver(
+        web: SimulatedWeb,
+        config: ValidatorConfig,
+        resolver: SiteResolver,
+    ) -> SetValidator {
         SetValidator {
-            resolver: SiteResolver::embedded(),
+            resolver,
             fetcher: Fetcher::with_policy(web, FetchPolicy::strict()),
             config,
         }

@@ -30,6 +30,7 @@ pub mod ecdf;
 pub mod histogram;
 pub mod ks;
 pub mod parallel;
+pub mod pool;
 pub mod quantile;
 pub mod rng;
 pub mod sampling;
@@ -39,7 +40,8 @@ pub use descriptive::{mean, population_variance, sample_variance, stddev, Summar
 pub use ecdf::Ecdf;
 pub use histogram::{CategoryCounter, Histogram};
 pub use ks::{ks_critical_value, ks_two_sample, KsResult};
-pub use parallel::{par_for_each, par_map, par_map_coarse};
+pub use parallel::{join2, par_for_each, par_map, par_map_coarse, par_map_with};
+pub use pool::ThreadPool;
 pub use quantile::{median, percentile, quantile};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use sampling::{

@@ -2,40 +2,41 @@
 //!
 //! The registry (and therefore rayon) is unreachable in this environment,
 //! so this module provides the small slice-parallelism surface the
-//! workspace's sweeps need, built on `std::thread::scope`:
+//! workspace's sweeps need:
 //!
 //! * [`par_map`] — apply a function to every element, in parallel, with
 //!   results returned **in input order** (so parallel sweeps stay
 //!   bit-for-bit identical to their sequential counterparts);
-//! * [`par_for_each`] — the side-effect-only variant.
+//! * [`par_map_coarse`] — the same without the short-input cutoff;
+//! * [`par_for_each`] — the side-effect-only variant;
+//! * [`par_map_with`] — ordered map with recycled per-worker scratch;
+//! * [`join2`] — run two closures concurrently.
 //!
-//! Work is distributed by an atomic cursor (work stealing at element
-//! granularity), which keeps threads busy even when per-element cost is
-//! skewed — exactly the shape of per-document HTML work. Panics in the
-//! closure propagate to the caller. Inputs shorter than
-//! [`MIN_PARALLEL_LEN`] run inline: spawning threads for a handful of
-//! elements costs more than it saves.
+//! Since PR 2 the calls execute on the persistent work-stealing
+//! [`ThreadPool`](crate::pool::ThreadPool) ([`ThreadPool::global`]) instead
+//! of spawning scoped threads per call: work is still distributed by an
+//! atomic cursor at element granularity, which keeps threads busy even when
+//! per-element cost is skewed — exactly the shape of per-document HTML
+//! work — but the workers are spawned once per process and amortised across
+//! every sweep. Panics in the closure propagate to the caller. Inputs
+//! shorter than [`MIN_PARALLEL_LEN`] run inline: queueing a batch for a
+//! handful of elements costs more than it saves.
+//!
+//! The old spawn-per-call implementation is retained as
+//! [`par_map_spawn_per_call`] so the bench trajectory can price the pool
+//! against it.
 
+use crate::pool::{par_map_on, par_map_with_on, ThreadPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Below this many items the overhead of spawning beats the win.
+/// Below this many items the overhead of parallel dispatch beats the win.
 pub const MIN_PARALLEL_LEN: usize = 32;
-
-/// Number of worker threads for `n` items: the machine's parallelism,
-/// capped by the item count.
-fn thread_count(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1)
-}
 
 /// Apply `f` to every element of `items` in parallel, returning the results
 /// in input order. `f` receives `(index, &item)`.
 ///
 /// Equivalent to `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`
-/// — including panic behaviour — but spread over the available cores.
+/// — including panic behaviour — but spread over the global thread pool.
 /// Inputs shorter than [`MIN_PARALLEL_LEN`] run inline; use
 /// [`par_map_coarse`] when each element is individually expensive.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -52,15 +53,75 @@ where
 
 /// [`par_map`] without the short-input cutoff: parallelises even a handful
 /// of elements. For coarse tasks (whole-trace replays, whole-figure
-/// renders) where each element costs far more than a thread spawn.
+/// renders) where each element costs far more than batch dispatch.
 pub fn par_map_coarse<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_on(ThreadPool::global(), items, f)
+}
+
+/// Run `f` over every element of `items` in parallel for its side effects.
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    par_map(items, |i, t| f(i, t));
+}
+
+/// Ordered parallel map with recycled scratch state: `state` seeds a small
+/// pool of per-worker values (cloned on demand), letting sweeps reuse
+/// buffers or caches without allocating per element. Results must depend
+/// only on `(index, item)` for the sweep to stay deterministic.
+pub fn par_map_with<S, T, R, F>(state: S, items: &[T], f: F) -> Vec<R>
+where
+    S: Clone + Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    if items.len() < MIN_PARALLEL_LEN {
+        let mut scratch = state;
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
+    }
+    par_map_with_on(ThreadPool::global(), state, items, f)
+}
+
+/// Run two closures, potentially in parallel on the global pool, returning
+/// both results. `a` runs on the calling thread.
+pub fn join2<A, B, FA, FB>(a: FA, b: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    ThreadPool::global().join2(a, b)
+}
+
+/// The PR-1 spawn-per-call implementation (scoped threads, atomic cursor),
+/// retained as the baseline the bench trajectory compares the persistent
+/// pool against. Not used by the workspace's sweeps.
+#[doc(hidden)]
+pub fn par_map_spawn_per_call<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
-    let threads = thread_count(n);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1);
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -97,15 +158,6 @@ where
     }
     indexed.sort_unstable_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, r)| r).collect()
-}
-
-/// Run `f` over every element of `items` in parallel for its side effects.
-pub fn par_for_each<T, F>(items: &[T], f: F)
-where
-    T: Sync,
-    F: Fn(usize, &T) + Sync,
-{
-    par_map(items, |i, t| f(i, t));
 }
 
 #[cfg(test)]
@@ -160,5 +212,37 @@ mod tests {
             }
             *v
         });
+    }
+
+    #[test]
+    fn pooled_map_matches_spawn_per_call() {
+        let items: Vec<u64> = (0..400).collect();
+        let pooled = par_map_coarse(&items, |i, v| v * 7 + i as u64);
+        let spawned = par_map_spawn_per_call(&items, |i, v| v * 7 + i as u64);
+        assert_eq!(pooled, spawned);
+    }
+
+    #[test]
+    fn par_map_with_matches_plain_map() {
+        let items: Vec<u32> = (0..200).collect();
+        let with_scratch = par_map_with(String::new(), &items, |buf, i, v| {
+            buf.clear();
+            use std::fmt::Write;
+            let _ = write!(buf, "{i}-{v}");
+            buf.len()
+        });
+        let plain: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{i}-{v}").len())
+            .collect();
+        assert_eq!(with_scratch, plain);
+    }
+
+    #[test]
+    fn join2_runs_both_closures() {
+        let (a, b) = join2(|| vec![1, 2, 3], || "done");
+        assert_eq!(a.iter().sum::<i32>(), 6);
+        assert_eq!(b, "done");
     }
 }

@@ -115,9 +115,21 @@ impl SurveyRunner {
     /// each group, in shuffled order, may skip questions or abandon the
     /// survey, and finally answers the factor questionnaire.
     pub fn run(&self, corpus: &Corpus, universe: &PairUniverse) -> SurveyDataset {
+        self.run_with(corpus, universe, &SiteResolver::embedded())
+    }
+
+    /// Like [`run`](Self::run), but resolving SLD cues through a shared
+    /// memoizing [`SiteResolver`] instead of constructing a fresh one — the
+    /// scenario pipeline hands every layer the same resolver, so hosts the
+    /// corpus and history already resolved answer from cache here.
+    pub fn run_with(
+        &self,
+        corpus: &Corpus,
+        universe: &PairUniverse,
+        resolver: &SiteResolver,
+    ) -> SurveyDataset {
         let cfg = self.config;
         let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("survey-runner");
-        let resolver = SiteResolver::embedded();
         // Cues depend only on the pair, not the participant: observe each
         // distinct pair once and serve repeats from this cache.
         let mut cue_cache: std::collections::HashMap<
@@ -154,7 +166,7 @@ impl SurveyRunner {
                 }
                 let cues = *cue_cache
                     .entry((pair.first.clone(), pair.second.clone()))
-                    .or_insert_with(|| Cues::observe_cached(corpus, &pair, &resolver));
+                    .or_insert_with(|| Cues::observe_cached(corpus, &pair, resolver));
                 let (verdict, seconds) = participant.judge(&cues, &mut rng);
                 dataset.responses.push(SurveyResponse {
                     participant: participant_id,

@@ -10,6 +10,7 @@ pub use rws_browser as browser;
 pub use rws_classify as classify;
 pub use rws_corpus as corpus;
 pub use rws_domain as domain;
+pub use rws_engine as engine;
 pub use rws_github as github;
 pub use rws_html as html;
 pub use rws_model as model;
@@ -29,5 +30,6 @@ mod tests {
         let _ = crate::net::SimulatedWeb::new();
         let _ = crate::corpus::CorpusConfig::default();
         let _ = crate::analysis::ScenarioConfig::default();
+        let _ = crate::engine::EngineContext::embedded();
     }
 }
