@@ -3,6 +3,7 @@
 use crate::error::DomainError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A syntactically valid, lower-cased, fully-qualified domain name without a
 /// trailing dot, e.g. `www.example.co.uk`.
@@ -13,11 +14,15 @@ use std::fmt;
 /// * no label starts or ends with `-`.
 ///
 /// The type is ordering- and hashing-friendly so it can key maps in the
-/// simulated web, the browser storage engine and the RWS list.
+/// simulated web, the browser storage engine and the RWS list. The name
+/// itself is a shared `Arc<str>`, so cloning — which the pair-universe and
+/// survey sweeps do hundreds of thousands of times — is a refcount bump,
+/// not a heap allocation. Equality, ordering and hashing all delegate to
+/// the string contents, so map behaviour is unchanged.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(try_from = "String", into = "String")]
 pub struct DomainName {
-    name: String,
+    name: Arc<str>,
 }
 
 impl DomainName {
@@ -60,7 +65,7 @@ impl DomainName {
                 });
             }
         }
-        Ok(DomainName { name: lower })
+        Ok(DomainName { name: lower.into() })
     }
 
     /// The normalised name as a string slice.
@@ -101,9 +106,7 @@ impl DomainName {
     /// `None` for a single-label name.
     pub fn parent(&self) -> Option<DomainName> {
         let (_, rest) = self.name.split_once('.')?;
-        Some(DomainName {
-            name: rest.to_string(),
-        })
+        Some(DomainName { name: rest.into() })
     }
 
     /// Construct the name formed by the last `n` labels of this name.
@@ -114,7 +117,7 @@ impl DomainName {
             return None;
         }
         Some(DomainName {
-            name: labels[labels.len() - n..].join("."),
+            name: labels[labels.len() - n..].join(".").into(),
         })
     }
 
@@ -139,7 +142,7 @@ impl TryFrom<String> for DomainName {
 
 impl From<DomainName> for String {
     fn from(value: DomainName) -> String {
-        value.name
+        value.name.as_ref().to_string()
     }
 }
 
