@@ -4,9 +4,8 @@ use crate::experiments::Experiment;
 use crate::report::{Report, Series, TextTable};
 use crate::scenario::Scenario;
 use rws_domain::{DomainName, SldComparison};
-use rws_html::similarity::{DocumentProfile, SimilarityWeights};
+use rws_html::similarity::{DocumentProfile, ProfileScratch, SimilarityWeights};
 use rws_model::MemberRole;
-use rws_stats::parallel::par_map;
 use rws_stats::Ecdf;
 use std::collections::HashMap;
 
@@ -100,6 +99,9 @@ impl Figure4 {
     /// once (in parallel) into a [`DocumentProfile`]; the pairwise phase
     /// then only compares precomputed hash sets. Primaries appear in many
     /// pairs, so the reuse is substantial on top of the per-pair speedup.
+    /// The profiling sweep runs with recycled per-worker scratch buffers
+    /// (`par_map_with`), so tag/class accumulators are allocated once per
+    /// worker instead of once per document.
     pub fn similarities(scenario: &Scenario) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let weights = SimilarityWeights::default();
         let pairs: Vec<(DomainName, DomainName, MemberRole)> = scenario
@@ -121,16 +123,20 @@ impl Figure4 {
                 }
             }
         }
-        let profiles: Vec<Option<DocumentProfile>> = par_map(&distinct, |_, domain| {
-            scenario
-                .corpus
-                .html_of(domain)
-                .map(|html| DocumentProfile::new(&html, weights))
-        });
+        let profiles: Vec<Option<DocumentProfile>> = scenario.engine.par_map_with(
+            ProfileScratch::default(),
+            &distinct,
+            |scratch, _, domain| {
+                scenario
+                    .corpus
+                    .html_of(domain)
+                    .map(|html| DocumentProfile::with_scratch(&html, weights, scratch))
+            },
+        );
         let profile_of = |domain: &DomainName| profiles[seen[domain]].as_ref();
 
         // Phase 2: compare precomputed profiles, in parallel.
-        let scores = par_map(&pairs, |_, (primary, member, _)| {
+        let scores = scenario.engine.par_map(&pairs, |_, (primary, member, _)| {
             let (Some(primary_profile), Some(member_profile)) =
                 (profile_of(primary), profile_of(member))
             else {

@@ -13,9 +13,10 @@
 //! chains — governance history followed by list snapshots, and
 //! classification followed by pair construction and the survey — run
 //! concurrently on the context's thread pool, each internally fanning out
-//! again (per-submitter history replays, per-page corpus rendering). Every
-//! stage draws from derived rng streams keyed by task identity, so the
-//! pooled pipeline is field-for-field identical to
+//! again (per-submitter history replays, per-page corpus rendering,
+//! per-member pair sweeps, per-participant survey sessions). Every stage
+//! draws from derived rng streams keyed by task identity, so the pooled
+//! pipeline is field-for-field identical to
 //! [`Scenario::generate_sequential`], which the equivalence property tests
 //! assert across seeds.
 
@@ -137,9 +138,8 @@ impl Scenario {
                     Xoshiro256StarStar::new(config.survey.seed).derive("pair-universe");
                 let mut pair_generator = PairGenerator::new(&corpus, &categories);
                 pair_generator.top_site_sample = config.top_site_sample;
-                let pairs = pair_generator.generate(&mut pair_rng);
-                let survey =
-                    SurveyRunner::new(config.survey).run_with(&corpus, &pairs, ctx.resolver());
+                let pairs = pair_generator.generate_on(&mut pair_rng, ctx);
+                let survey = SurveyRunner::new(config.survey).run_on(&corpus, &pairs, ctx);
                 (categories, pairs, survey)
             },
         );

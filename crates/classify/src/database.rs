@@ -71,6 +71,15 @@ impl CategoryDatabase {
         }
     }
 
+    /// The stored category of a domain, or `None` when the domain was never
+    /// classified. Unlike [`category_of`](Self::category_of) this preserves
+    /// the known/unknown distinction [`same_category`](Self::same_category)
+    /// relies on, so sweeps can precompute it once per domain instead of
+    /// paying two tree walks per pair.
+    pub fn known_category(&self, domain: &DomainName) -> Option<SiteCategory> {
+        self.entries.get(domain).copied()
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()

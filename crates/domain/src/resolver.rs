@@ -9,21 +9,16 @@
 //! the site-name allocation exactly once.
 //!
 //! The resolver is `Send + Sync`; parallel sweeps share one instance. The
-//! memo table is *sharded*: hosts hash onto [`SHARD_COUNT`] independent
-//! locks, so pool workers hammering the cache from every core contend on
-//! 1/16th of the key space instead of a single global lock.
+//! memo table is a [`ShardedMemo`]: hosts hash onto independent locks, so
+//! pool workers hammering the cache from every core contend on a fraction
+//! of the key space instead of a single global lock.
 
 use crate::error::DomainError;
 use crate::name::DomainName;
 use crate::psl::PublicSuffixList;
-use std::collections::HashMap;
+use rws_stats::memo::ShardedMemo;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
-
-/// Number of independent cache shards (must be a power of two).
-const SHARD_COUNT: usize = 16;
-
-type Shard = RwLock<HashMap<DomainName, Result<DomainName, DomainError>>>;
+use std::sync::{Arc, OnceLock};
 
 /// A shared, memoizing wrapper around [`PublicSuffixList`].
 ///
@@ -36,20 +31,9 @@ pub struct SiteResolver {
 #[derive(Debug)]
 struct ResolverInner {
     psl: PublicSuffixList,
-    shards: [Shard; SHARD_COUNT],
+    memo: ShardedMemo<DomainName, Result<DomainName, DomainError>>,
     hits: AtomicU64,
     misses: AtomicU64,
-}
-
-/// FNV-1a over the host string, folded to a shard index. Stable across
-/// platforms so sharding never perturbs observable behaviour.
-fn shard_index(host: &DomainName) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in host.as_str().as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h as usize) & (SHARD_COUNT - 1)
 }
 
 /// Cache hit/miss counters, for observability and the perf acceptance
@@ -68,7 +52,7 @@ impl SiteResolver {
         SiteResolver {
             inner: Arc::new(ResolverInner {
                 psl,
-                shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+                memo: ShardedMemo::new(),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
             }),
@@ -97,19 +81,13 @@ impl SiteResolver {
 
     /// The registrable domain (eTLD+1, the "site") of a host, memoized.
     pub fn registrable_domain(&self, host: &DomainName) -> Result<DomainName, DomainError> {
-        let shard = &self.inner.shards[shard_index(host)];
-        {
-            let cache = shard.read().expect("resolver cache poisoned");
-            if let Some(result) = cache.get(host) {
-                self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                return result.clone();
-            }
+        if let Some(result) = self.inner.memo.get(host) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return result;
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.inner.psl.registrable_domain(host);
-        let mut cache = shard.write().expect("resolver cache poisoned");
-        cache.insert(host.clone(), result.clone());
-        result
+        self.inner.memo.insert(host.clone(), result)
     }
 
     /// True if two hosts belong to the same site.
@@ -151,11 +129,7 @@ impl SiteResolver {
 
     /// Number of distinct hosts memoized, across all shards.
     pub fn cached_hosts(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .map(|shard| shard.read().expect("resolver cache poisoned").len())
-            .sum()
+        self.inner.memo.len()
     }
 }
 

@@ -35,6 +35,6 @@ pub use extract::{class_set, tag_sequence, text_content, title};
 pub use shingle::{hash_token, jaccard, jaccard_sorted, shingles, ShingleProfile};
 pub use similarity::{
     html_similarity, structural_similarity, style_similarity, DocumentProfile, HtmlSimilarity,
-    SimilarityWeights,
+    ProfileScratch, SimilarityWeights,
 };
 pub use tokenizer::{tokenize, Token};

@@ -76,32 +76,53 @@ pub struct DocumentProfile {
     shingle: ShingleProfile,
 }
 
+/// Reusable buffers for [`DocumentProfile::with_scratch`]: the tag-hash and
+/// class-hash accumulators grow to the largest document seen and are then
+/// recycled across a sweep, so profiling N documents performs N result
+/// allocations instead of N geometric-growth reallocation chains. Designed
+/// for `par_map_with`, which hands each pool worker its own clone.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileScratch {
+    tag_hashes: Vec<u64>,
+    classes: Vec<u64>,
+}
+
 impl DocumentProfile {
     /// Extract a profile in a single tokenizer pass.
     pub fn new(html: &str, weights: SimilarityWeights) -> DocumentProfile {
+        DocumentProfile::with_scratch(html, weights, &mut ProfileScratch::default())
+    }
+
+    /// Like [`new`](Self::new), reusing the caller's scratch buffers. The
+    /// result is identical for any scratch state.
+    pub fn with_scratch(
+        html: &str,
+        weights: SimilarityWeights,
+        scratch: &mut ProfileScratch,
+    ) -> DocumentProfile {
         weights
             .validate()
             .expect("invalid similarity weights supplied");
-        let mut tag_hashes = Vec::new();
-        let mut classes = Vec::new();
+        scratch.tag_hashes.clear();
+        scratch.classes.clear();
         for token in tokenize(html) {
             if let Token::Open {
                 name, attributes, ..
             } = token
             {
-                tag_hashes.push(hash_token(name.as_bytes()));
+                scratch.tag_hashes.push(hash_token(name.as_bytes()));
                 if let Some(class_attr) = attributes.get("class") {
                     for class in class_attr.split_whitespace() {
-                        classes.push(hash_token(class.as_bytes()));
+                        scratch.classes.push(hash_token(class.as_bytes()));
                     }
                 }
             }
         }
-        classes.sort_unstable();
-        classes.dedup();
+        scratch.classes.sort_unstable();
+        scratch.classes.dedup();
         DocumentProfile {
-            classes,
-            shingle: ShingleProfile::from_token_hashes(&tag_hashes, weights.shingle_size),
+            classes: scratch.classes.clone(),
+            shingle: ShingleProfile::from_token_hashes(&scratch.tag_hashes, weights.shingle_size),
         }
     }
 

@@ -84,6 +84,14 @@ impl RwsList {
         self.index.get(domain).map(|&i| &self.sets[i])
     }
 
+    /// The position (in [`sets`](Self::sets) order) of the set containing a
+    /// domain, if any. Two domains are related exactly when both have the
+    /// same `Some` index — precomputing this per domain turns the pair
+    /// universe's O(members²) relatedness sweep into integer compares.
+    pub fn set_index_of(&self, domain: &DomainName) -> Option<usize> {
+        self.index.get(domain).copied()
+    }
+
     /// The set whose primary is the given domain, if any.
     pub fn set_with_primary(&self, primary: &DomainName) -> Option<&RwsSet> {
         self.set_for(primary).filter(|set| set.primary() == primary)

@@ -29,6 +29,7 @@ pub mod descriptive;
 pub mod ecdf;
 pub mod histogram;
 pub mod ks;
+pub mod memo;
 pub mod parallel;
 pub mod pool;
 pub mod quantile;
@@ -40,13 +41,14 @@ pub use descriptive::{mean, population_variance, sample_variance, stddev, Summar
 pub use ecdf::Ecdf;
 pub use histogram::{CategoryCounter, Histogram};
 pub use ks::{ks_critical_value, ks_two_sample, KsResult};
+pub use memo::ShardedMemo;
 pub use parallel::{join2, par_for_each, par_map, par_map_coarse, par_map_with};
 pub use pool::ThreadPool;
 pub use quantile::{median, percentile, quantile};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use sampling::{
-    choose, sample_indices_without_replacement, sample_without_replacement, shuffle,
-    weighted_choice,
+    choose, sample_indices_floyd, sample_indices_without_replacement, sample_without_replacement,
+    shuffle, weighted_choice,
 };
 pub use timeseries::{Date, Month, MonthlySeries, EPOCH};
 

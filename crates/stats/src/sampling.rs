@@ -54,6 +54,29 @@ pub fn sample_without_replacement<T: Clone, R: Rng + ?Sized>(
         .collect()
 }
 
+/// Draw `k` distinct indices from `0..n` uniformly without replacement in
+/// O(k) memory and time, via Robert Floyd's algorithm — for tiny draws
+/// from huge pools, where the partial Fisher–Yates above would pay O(n)
+/// to build the index vector. Deterministic given the rng, but consumes a
+/// *different* stream of draws than
+/// [`sample_indices_without_replacement`]; a call site must pick one
+/// sampler and stay with it.
+pub fn sample_indices_floyd<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    if k >= n {
+        return sample_indices_without_replacement(n, k, rng);
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for i in (n - k)..n {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        // If j was already chosen, i itself cannot have been (previous
+        // rounds only drew below i), so substituting i keeps the draw
+        // uniform over k-subsets — Floyd's invariant.
+        let pick = if chosen.contains(&j) { i } else { j };
+        chosen.push(pick);
+    }
+    chosen
+}
+
 /// Choose an index according to non-negative weights. Returns `None` if the
 /// slice is empty or all weights are zero / non-finite.
 pub fn weighted_choice<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
@@ -195,5 +218,53 @@ mod tests {
         }
         let ratio = counts[1] as f64 / counts[0] as f64;
         assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio} should be near 3");
+    }
+
+    #[test]
+    fn floyd_draws_distinct_in_bounds_indices() {
+        let mut rng = Xoshiro256StarStar::new(12);
+        for (n, k) in [
+            (10usize, 3usize),
+            (100, 5),
+            (100_000, 8),
+            (7, 7),
+            (5, 9),
+            (4, 0),
+        ] {
+            let picks = sample_indices_floyd(n, k, &mut rng);
+            assert_eq!(picks.len(), k.min(n), "n={n} k={k}");
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), picks.len(), "duplicates for n={n} k={k}");
+            assert!(picks.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn floyd_is_deterministic_given_seed() {
+        let a = sample_indices_floyd(1_000_000, 6, &mut Xoshiro256StarStar::new(13));
+        let b = sample_indices_floyd(1_000_000, 6, &mut Xoshiro256StarStar::new(13));
+        assert_eq!(a, b);
+        let c = sample_indices_floyd(1_000_000, 6, &mut Xoshiro256StarStar::new(14));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn floyd_is_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::new(15);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            for i in sample_indices_floyd(10, 3, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        // Each index is chosen with probability 3/10: expect ~6000 each.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (5400..=6600).contains(&c),
+                "index {i} drawn {c} times, expected ~6000"
+            );
+        }
     }
 }

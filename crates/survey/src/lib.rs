@@ -20,11 +20,13 @@
 //! released CSV.
 
 pub mod analysis;
+pub mod cue_cache;
 pub mod pairs;
 pub mod participant;
 pub mod runner;
 
 pub use analysis::{ConfusionMatrix, FactorTable, GroupSummary, SurveyAnalysis, TimingSplit};
-pub use pairs::{PairGenerator, PairGroup, PairUniverse, SitePair};
+pub use cue_cache::CueCache;
+pub use pairs::{PairGenerator, PairGroup, PairRef, PairUniverse, SitePair, SurveyScale};
 pub use participant::{Cues, Factor, FactorReport, Participant, Verdict};
 pub use runner::{SurveyConfig, SurveyDataset, SurveyResponse, SurveyRunner};

@@ -14,10 +14,30 @@
 //! Before pairing, the RWS member pool is filtered to live, primarily
 //! English-language primaries and associated sites — the paper's manual
 //! filter that reduced 146 sites to 31.
+//!
+//! # Indexed representation
+//!
+//! The universe is quadratic in the member pool (the paper's 31 members
+//! already yield 822 candidate pairs; a 32× pool yields half a million), so
+//! [`PairUniverse`] stores each candidate as a [`PairRef`] — two `u32`
+//! indices into one shared site table — rather than two owned domain names.
+//! Building a pair is then an 8-byte push instead of two reference-count
+//! round-trips, and the whole universe occupies a fifth of the memory. The
+//! handful of pairs a participant actually sees are materialized on demand
+//! into [`SitePair`]s ([`PairUniverse::materialize`]).
+//!
+//! Generation itself is indexed too: membership and set identity are
+//! precomputed per member (hash set + member → set id map), so the group-2
+//! sweep compares integers instead of walking the list's `BTreeMap` index
+//! per pair, and the per-member sweeps fan out across the engine's pool.
+//! The original double loop is retained as
+//! [`PairGenerator::generate_naive`], the oracle the regression tests and
+//! the bench trajectory compare against.
 
 use rws_classify::CategoryDatabase;
-use rws_corpus::{Corpus, SiteRole};
+use rws_corpus::{Corpus, SiteCategory, SiteRole};
 use rws_domain::DomainName;
+use rws_engine::EngineContext;
 use rws_stats::rng::Rng;
 use rws_stats::sampling::sample_without_replacement;
 use serde::{Deserialize, Serialize};
@@ -60,7 +80,10 @@ impl PairGroup {
     }
 }
 
-/// One pair of sites shown to participants.
+/// One pair of sites shown to participants — the materialized view of a
+/// [`PairRef`], carrying owned domain names. Only the questions actually
+/// drawn for a participant are materialized; the universe itself stays
+/// indexed.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SitePair {
     /// First site (always an RWS primary or associated site).
@@ -78,23 +101,36 @@ impl SitePair {
     }
 }
 
+/// One candidate pair, as two indices into the universe's site table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PairRef {
+    /// Index of the first site (always an RWS member).
+    pub first: u32,
+    /// Index of the second site.
+    pub second: u32,
+}
+
 /// The full universe of candidate pairs, by group — what the paper reports
-/// as 39 / 426 / 141 / 216 generated pairs.
+/// as 39 / 426 / 141 / 216 generated pairs. Pairs are stored as index
+/// pairs into [`sites`](Self::sites); see the module docs for why.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PairUniverse {
-    /// All candidate pairs, grouped.
-    pub same_set: Vec<SitePair>,
+    /// The site table every [`PairRef`] points into: the (scaled) member
+    /// pool followed by the sampled top sites.
+    pub sites: Vec<DomainName>,
+    /// All candidate same-set pairs.
+    pub same_set: Vec<PairRef>,
     /// All cross-set pairs.
-    pub other_set: Vec<SitePair>,
+    pub other_set: Vec<PairRef>,
     /// All same-category top-site pairs.
-    pub top_same_category: Vec<SitePair>,
+    pub top_same_category: Vec<PairRef>,
     /// All other-category top-site pairs.
-    pub top_other_category: Vec<SitePair>,
+    pub top_other_category: Vec<PairRef>,
 }
 
 impl PairUniverse {
-    /// The pairs for one group.
-    pub fn group(&self, group: PairGroup) -> &[SitePair] {
+    /// The candidate pairs for one group.
+    pub fn group(&self, group: PairGroup) -> &[PairRef] {
         match group {
             PairGroup::RwsSameSet => &self.same_set,
             PairGroup::RwsOtherSet => &self.other_set,
@@ -107,6 +143,111 @@ impl PairUniverse {
     pub fn total(&self) -> usize {
         PairGroup::ALL.iter().map(|g| self.group(*g).len()).sum()
     }
+
+    /// Materialize one candidate into an owned [`SitePair`].
+    pub fn materialize(&self, group: PairGroup, pair: PairRef) -> SitePair {
+        SitePair {
+            first: self.sites[pair.first as usize].clone(),
+            second: self.sites[pair.second as usize].clone(),
+            group,
+        }
+    }
+
+    /// Iterate one group's pairs, materialized.
+    pub fn iter_group(&self, group: PairGroup) -> impl Iterator<Item = SitePair> + '_ {
+        self.group(group)
+            .iter()
+            .map(move |pair| self.materialize(group, *pair))
+    }
+
+    /// Iterate every candidate pair, materialized, in group order.
+    pub fn iter_all(&self) -> impl Iterator<Item = SitePair> + '_ {
+        PairGroup::ALL
+            .into_iter()
+            .flat_map(move |group| self.iter_group(group))
+    }
+}
+
+/// Scaling knobs for survey universes beyond the paper's 31 filtered sites
+/// and 30 sessions. [`SurveyScale::paper`] reproduces the study exactly;
+/// [`SurveyScale::times`] multiplies it for the scaled benchmarks (10–100×
+/// universes), padding the member pool with synthetic variants of the
+/// eligible members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SurveyScale {
+    /// Number of survey participants (paper: 30).
+    pub participants: usize,
+    /// Pairs drawn per group per participant (paper: 5).
+    pub pairs_per_group: usize,
+    /// Top sites sampled for groups 3 and 4 (paper: 200).
+    pub top_site_sample: usize,
+    /// Multiplier on the eligible-member pool: 1 keeps the corpus's own
+    /// filtered members, `k` adds `k - 1` synthetic variants of each.
+    pub member_multiplier: usize,
+}
+
+impl SurveyScale {
+    /// The paper's exact scale.
+    pub fn paper() -> SurveyScale {
+        SurveyScale {
+            participants: 30,
+            pairs_per_group: 5,
+            top_site_sample: 200,
+            member_multiplier: 1,
+        }
+    }
+
+    /// The paper's survey multiplied `factor` times: `factor ×` the
+    /// participants and `factor ×` the eligible-member pool (which grows
+    /// the group-2 universe quadratically).
+    pub fn times(factor: usize) -> SurveyScale {
+        let factor = factor.max(1);
+        SurveyScale {
+            participants: 30 * factor,
+            member_multiplier: factor,
+            ..SurveyScale::paper()
+        }
+    }
+
+    /// The runner configuration at this scale.
+    pub fn survey_config(&self, seed: u64) -> crate::runner::SurveyConfig {
+        crate::runner::SurveyConfig {
+            seed,
+            participants: self.participants,
+            pairs_per_group: self.pairs_per_group,
+        }
+    }
+}
+
+impl Default for SurveyScale {
+    fn default() -> Self {
+        SurveyScale::paper()
+    }
+}
+
+/// Precomputed membership facts about the (possibly scaled) member pool:
+/// a hash set for O(1) membership tests and one integer set id per member,
+/// so the O(members²) group-2 sweep compares integers instead of walking
+/// the list's `BTreeMap` index twice per pair.
+struct MemberIndex {
+    members: Vec<DomainName>,
+    set_of: Vec<Option<usize>>,
+}
+
+impl MemberIndex {
+    fn build(corpus: &Corpus, members: Vec<DomainName>) -> MemberIndex {
+        let set_of: Vec<Option<usize>> = members
+            .iter()
+            .map(|m| corpus.list.set_index_of(m))
+            .collect();
+        MemberIndex { members, set_of }
+    }
+
+    /// True when members `i` and `j` belong to the same set — exactly
+    /// `corpus.list.are_related(&members[i], &members[j])`, precomputed.
+    fn related(&self, i: usize, j: usize) -> bool {
+        matches!((self.set_of[i], self.set_of[j]), (Some(a), Some(b)) if a == b)
+    }
 }
 
 /// Builds the pair universe from a corpus.
@@ -115,6 +256,9 @@ pub struct PairGenerator<'a> {
     categories: &'a CategoryDatabase,
     /// Number of top sites to sample for groups 3 and 4 (paper: 200).
     pub top_site_sample: usize,
+    /// Multiplier on the eligible-member pool (see
+    /// [`SurveyScale::member_multiplier`]); 1 is the paper's pool.
+    pub member_multiplier: usize,
 }
 
 impl<'a> PairGenerator<'a> {
@@ -124,6 +268,21 @@ impl<'a> PairGenerator<'a> {
             corpus,
             categories,
             top_site_sample: 200,
+            member_multiplier: 1,
+        }
+    }
+
+    /// Create a generator at an explicit scale.
+    pub fn with_scale(
+        corpus: &'a Corpus,
+        categories: &'a CategoryDatabase,
+        scale: SurveyScale,
+    ) -> PairGenerator<'a> {
+        PairGenerator {
+            corpus,
+            categories,
+            top_site_sample: scale.top_site_sample,
+            member_multiplier: scale.member_multiplier,
         }
     }
 
@@ -144,45 +303,94 @@ impl<'a> PairGenerator<'a> {
         members
     }
 
-    /// Generate the full pair universe.
+    /// The eligible members after applying the member multiplier: the base
+    /// pool, then `member_multiplier − 1` synthetic variants of each (named
+    /// `sclone<k>.<member>`, which are never on the RWS list and therefore
+    /// unrelated to everything — exactly the shape of a survey universe
+    /// drawn from a far larger filtered pool).
+    pub fn scaled_members(&self) -> Vec<DomainName> {
+        let base = self.eligible_members();
+        if self.member_multiplier <= 1 {
+            return base;
+        }
+        let mut members: Vec<DomainName> = Vec::with_capacity(base.len() * self.member_multiplier);
+        members.extend(base.iter().cloned());
+        for k in 1..self.member_multiplier {
+            for member in &base {
+                members.push(
+                    DomainName::parse(&format!("sclone{k}.{member}"))
+                        .expect("member with a prepended label is a valid domain"),
+                );
+            }
+        }
+        members
+    }
+
+    /// Generate the full pair universe (indexed membership, sequential).
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> PairUniverse {
-        let members = self.eligible_members();
+        self.generate_impl(rng, None)
+    }
+
+    /// Like [`generate`](Self::generate), but fanning the per-member group-2
+    /// and group-3/4 sweeps out across the context's pool. Output is
+    /// identical whether the context is pooled or sequential (and identical
+    /// to [`generate`](Self::generate)).
+    pub fn generate_on<R: Rng + ?Sized>(&self, rng: &mut R, ctx: &EngineContext) -> PairUniverse {
+        self.generate_impl(rng, Some(ctx))
+    }
+
+    fn generate_impl<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ctx: Option<&EngineContext>,
+    ) -> PairUniverse {
+        let index = MemberIndex::build(self.corpus, self.scaled_members());
+        let members = &index.members;
         let mut universe = PairUniverse::default();
 
         // Group 1: each set primary paired with each of its associated
         // sites ("all combinations of set primaries and associated sites
         // within each set"), restricted to eligible members.
         for set in self.corpus.list.sets() {
-            if !members.contains(set.primary()) {
+            let Some(primary) = member_position(members, set.primary()) else {
                 continue;
-            }
+            };
             for associated in set.associated_sites() {
-                if members.contains(associated) {
-                    universe.same_set.push(SitePair {
-                        first: set.primary().clone(),
-                        second: associated.clone(),
-                        group: PairGroup::RwsSameSet,
+                if let Some(associated) = member_position(members, associated) {
+                    universe.same_set.push(PairRef {
+                        first: primary,
+                        second: associated,
                     });
                 }
             }
         }
 
-        // Group 2: combinations across different sets.
-        for i in 0..members.len() {
+        // Group 2: combinations across different sets. One task per outer
+        // member; each task only compares precomputed integer set ids, and
+        // the per-member vectors are concatenated in member order so the
+        // result is identical to the naive double loop.
+        let per_member: Vec<Vec<PairRef>> = par_members(ctx, members, |i, _| {
+            let mut out: Vec<PairRef> = Vec::with_capacity(members.len() - i - 1);
             for j in (i + 1)..members.len() {
-                let a = &members[i];
-                let b = &members[j];
-                if !self.corpus.list.are_related(a, b) {
-                    universe.other_set.push(SitePair {
-                        first: a.clone(),
-                        second: b.clone(),
-                        group: PairGroup::RwsOtherSet,
+                if !index.related(i, j) {
+                    out.push(PairRef {
+                        first: i as u32,
+                        second: j as u32,
                     });
                 }
             }
+            out
+        });
+        let total: usize = per_member.iter().map(Vec::len).sum();
+        universe.other_set.reserve_exact(total);
+        for chunk in per_member {
+            universe.other_set.extend(chunk);
         }
 
         // Groups 3 and 4: RWS members × a 200-site sample of the top list.
+        // Categories are resolved once per member and once per sampled top
+        // site instead of twice per pair; the member sweep fans out on the
+        // pool with per-member (same, other) vectors stitched in order.
         let top_pool: Vec<DomainName> = self
             .corpus
             .tranco
@@ -190,26 +398,130 @@ impl<'a> PairGenerator<'a> {
             .map(|e| e.domain.clone())
             .collect();
         let sample = sample_without_replacement(&top_pool, self.top_site_sample, rng);
-        for member in &members {
-            for top in &sample {
-                let pair_group = if self.categories.same_category(member, top) {
-                    PairGroup::TopSiteSameCategory
-                } else {
-                    PairGroup::TopSiteOtherCategory
-                };
-                let pair = SitePair {
-                    first: member.clone(),
-                    second: top.clone(),
-                    group: pair_group,
-                };
-                match pair_group {
-                    PairGroup::TopSiteSameCategory => universe.top_same_category.push(pair),
-                    _ => universe.top_other_category.push(pair),
+        let top_categories: Vec<Option<SiteCategory>> = sample
+            .iter()
+            .map(|top| self.categories.known_category(top))
+            .collect();
+        let top_base = members.len() as u32;
+        let per_member: Vec<(Vec<PairRef>, Vec<PairRef>)> =
+            par_members(ctx, members, |i, member| {
+                let member_category = self.categories.known_category(member);
+                let mut same = Vec::new();
+                let mut other = Vec::with_capacity(sample.len());
+                for (t, top_category) in top_categories.iter().enumerate() {
+                    let same_category = match (member_category, top_category) {
+                        (Some(a), Some(b)) => a == *b,
+                        _ => false,
+                    };
+                    let pair = PairRef {
+                        first: i as u32,
+                        second: top_base + t as u32,
+                    };
+                    if same_category {
+                        same.push(pair);
+                    } else {
+                        other.push(pair);
+                    }
+                }
+                (same, other)
+            });
+        for (same, other) in per_member {
+            universe.top_same_category.extend(same);
+            universe.top_other_category.extend(other);
+        }
+
+        universe.sites = index.members;
+        universe.sites.extend(sample);
+        assert!(
+            universe.sites.len() <= u32::MAX as usize,
+            "site table exceeds u32 index space"
+        );
+        universe
+    }
+
+    /// The original double-loop generator, kept as the oracle the
+    /// regression tests and the bench trajectory compare the indexed
+    /// generator against: linear `members` scans in group 1, a
+    /// `BTreeMap`-walking `are_related` per group-2 pair and two tree walks
+    /// per group-3/4 pair.
+    #[doc(hidden)]
+    pub fn generate_naive<R: Rng + ?Sized>(&self, rng: &mut R) -> PairUniverse {
+        let members = self.scaled_members();
+        let mut universe = PairUniverse::default();
+
+        for set in self.corpus.list.sets() {
+            if !members.contains(set.primary()) {
+                continue;
+            }
+            let primary =
+                member_position(&members, set.primary()).expect("contains implies a position");
+            for associated in set.associated_sites() {
+                if let Some(associated) = member_position(&members, associated) {
+                    universe.same_set.push(PairRef {
+                        first: primary,
+                        second: associated,
+                    });
                 }
             }
         }
 
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let a = &members[i];
+                let b = &members[j];
+                if !self.corpus.list.are_related(a, b) {
+                    universe.other_set.push(PairRef {
+                        first: i as u32,
+                        second: j as u32,
+                    });
+                }
+            }
+        }
+
+        let top_pool: Vec<DomainName> = self
+            .corpus
+            .tranco
+            .iter()
+            .map(|e| e.domain.clone())
+            .collect();
+        let sample = sample_without_replacement(&top_pool, self.top_site_sample, rng);
+        let top_base = members.len() as u32;
+        for (i, member) in members.iter().enumerate() {
+            for (t, top) in sample.iter().enumerate() {
+                let pair = PairRef {
+                    first: i as u32,
+                    second: top_base + t as u32,
+                };
+                if self.categories.same_category(member, top) {
+                    universe.top_same_category.push(pair);
+                } else {
+                    universe.top_other_category.push(pair);
+                }
+            }
+        }
+
+        universe.sites = members;
+        universe.sites.extend(sample);
         universe
+    }
+}
+
+/// Linear scan for a member's position — the naive generator's lookup, also
+/// used by the (cold) group-1 loop.
+fn member_position(members: &[DomainName], domain: &DomainName) -> Option<u32> {
+    members.iter().position(|m| m == domain).map(|i| i as u32)
+}
+
+/// Ordered map over the member pool: on the context's pool when one is
+/// supplied, inline otherwise. Results are always in member order.
+fn par_members<R: Send>(
+    ctx: Option<&EngineContext>,
+    members: &[DomainName],
+    f: impl Fn(usize, &DomainName) -> R + Sync,
+) -> Vec<R> {
+    match ctx {
+        Some(ctx) => ctx.par_map(members, f),
+        None => members.iter().enumerate().map(|(i, m)| f(i, m)).collect(),
     }
 }
 
@@ -245,7 +557,7 @@ mod tests {
     fn same_set_pairs_are_actually_related() {
         let (corpus, u) = universe();
         assert!(!u.same_set.is_empty(), "no same-set pairs generated");
-        for pair in &u.same_set {
+        for pair in u.iter_group(PairGroup::RwsSameSet) {
             assert!(corpus.list.are_related(&pair.first, &pair.second));
             assert!(pair.related_under_rws());
         }
@@ -254,14 +566,15 @@ mod tests {
     #[test]
     fn other_group_pairs_are_not_related() {
         let (corpus, u) = universe();
-        for pair in u
-            .other_set
-            .iter()
-            .chain(u.top_same_category.iter())
-            .chain(u.top_other_category.iter())
-        {
-            assert!(!corpus.list.are_related(&pair.first, &pair.second));
-            assert!(!pair.related_under_rws());
+        for group in [
+            PairGroup::RwsOtherSet,
+            PairGroup::TopSiteSameCategory,
+            PairGroup::TopSiteOtherCategory,
+        ] {
+            for pair in u.iter_group(group) {
+                assert!(!corpus.list.are_related(&pair.first, &pair.second));
+                assert!(!pair.related_under_rws());
+            }
         }
     }
 
@@ -284,10 +597,10 @@ mod tests {
     fn category_groups_respect_the_database() {
         let (corpus, u) = universe();
         let categories = CategoryDatabase::from_ground_truth(&corpus);
-        for pair in &u.top_same_category {
+        for pair in u.iter_group(PairGroup::TopSiteSameCategory) {
             assert!(categories.same_category(&pair.first, &pair.second));
         }
-        for pair in &u.top_other_category {
+        for pair in u.iter_group(PairGroup::TopSiteOtherCategory) {
             assert!(!categories.same_category(&pair.first, &pair.second));
         }
     }
@@ -303,9 +616,22 @@ mod tests {
                 + u.top_other_category.len()
         );
         assert!(u.total() > 0);
+        assert_eq!(u.iter_all().count(), u.total());
+        for g in PairGroup::ALL {
+            for pair in u.iter_group(g) {
+                assert_eq!(pair.group, g);
+                assert_ne!(pair.first, pair.second);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_refs_point_into_the_site_table() {
+        let (_, u) = universe();
         for g in PairGroup::ALL {
             for pair in u.group(g) {
-                assert_eq!(pair.group, g);
+                assert!((pair.first as usize) < u.sites.len());
+                assert!((pair.second as usize) < u.sites.len());
                 assert_ne!(pair.first, pair.second);
             }
         }

@@ -1,11 +1,27 @@
 //! The survey runner: participants × pairs → timed responses.
+//!
+//! # Parallel sessions
+//!
+//! Real survey sessions were independent: each participant saw their own
+//! pair draw and judged it alone. The runner models that directly — every
+//! participant's behaviour (their parameters, question draw, skips,
+//! judgements, dropout and factor questionnaire) comes from an rng stream
+//! **derived from the participant id**, the same per-task derivation the
+//! governance replay uses per submitter. Participants therefore fan out
+//! across the engine's pool one session per task, share one concurrent
+//! [`CueCache`](crate::cue_cache::CueCache) (cues depend only on the pair),
+//! and the dataset is byte-identical no matter how the sessions interleave
+//! (or whether they run sequentially at all).
 
+use crate::cue_cache::CueCache;
 use crate::pairs::{PairGroup, PairUniverse, SitePair};
-use crate::participant::{Cues, FactorReport, Participant, Verdict};
+use crate::participant::{FactorReport, Participant, Verdict};
 use rws_corpus::Corpus;
 use rws_domain::SiteResolver;
+use rws_engine::EngineContext;
+use rws_stats::pool::ThreadPool;
 use rws_stats::rng::Xoshiro256StarStar;
-use rws_stats::sampling::{sample_without_replacement, shuffle};
+use rws_stats::sampling::{sample_indices_floyd, sample_indices_without_replacement, shuffle};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the survey run.
@@ -78,26 +94,45 @@ impl SurveyDataset {
     }
 
     /// Number of distinct participants with at least one response.
+    ///
+    /// Counted through a participant-id bitset rather than clone-sort-dedup
+    /// of the whole response vector: at scaled universes (thousands of
+    /// sessions × dozens of answers) this runs once per analysis figure,
+    /// and the O(n log n) sort over owned copies was the hot spot.
     pub fn active_participants(&self) -> usize {
-        let mut ids: Vec<usize> = self.responses.iter().map(|r| r.participant).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        count_distinct_participants(self.responses.iter().map(|r| r.participant))
     }
 
     /// Number of participants that made at least one privacy-harming error
     /// (the paper: 22 of 30, 73.3%).
     pub fn participants_with_privacy_harming_error(&self) -> usize {
-        let mut ids: Vec<usize> = self
-            .responses
-            .iter()
-            .filter(|r| r.privacy_harming_error())
-            .map(|r| r.participant)
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        count_distinct_participants(
+            self.responses
+                .iter()
+                .filter(|r| r.privacy_harming_error())
+                .map(|r| r.participant),
+        )
     }
+}
+
+/// Count distinct ids via a growable bitset. Ids are session indices
+/// (`0..participants_started`), so the bitset stays one word per 64
+/// participants and each response costs one index + mask probe.
+fn count_distinct_participants(ids: impl Iterator<Item = usize>) -> usize {
+    let mut words: Vec<u64> = Vec::new();
+    let mut distinct = 0usize;
+    for id in ids {
+        let word = id / 64;
+        if word >= words.len() {
+            words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (id % 64);
+        if words[word] & mask == 0 {
+            words[word] |= mask;
+            distinct += 1;
+        }
+    }
+    distinct
 }
 
 /// Runs the survey against a corpus.
@@ -128,64 +163,128 @@ impl SurveyRunner {
         universe: &PairUniverse,
         resolver: &SiteResolver,
     ) -> SurveyDataset {
+        self.run_on(
+            corpus,
+            universe,
+            &EngineContext::with_parts(ThreadPool::global().clone(), resolver.clone()),
+        )
+    }
+
+    /// Run the survey on an engine: one pool task per participant, cues
+    /// shared through a concurrent [`CueCache`]. Output is identical
+    /// whether the context is pooled or sequential, because every
+    /// participant draws from their own derived rng stream.
+    pub fn run_on(
+        &self,
+        corpus: &Corpus,
+        universe: &PairUniverse,
+        ctx: &EngineContext,
+    ) -> SurveyDataset {
         let cfg = self.config;
-        let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("survey-runner");
-        // Cues depend only on the pair, not the participant: observe each
-        // distinct pair once and serve repeats from this cache.
-        let mut cue_cache: std::collections::HashMap<
-            (rws_domain::DomainName, rws_domain::DomainName),
-            Cues,
-        > = std::collections::HashMap::new();
+        let base = Xoshiro256StarStar::new(cfg.seed).derive("survey-runner");
+        // Cues depend only on the pair, not the participant: the first
+        // session to show a pair observes it, every other session (on any
+        // worker) reads it back.
+        let cue_cache = CueCache::new();
+        let ids: Vec<usize> = (0..cfg.participants).collect();
+        let sessions: Vec<ParticipantSession> = ctx.par_map_coarse(&ids, |_, id| {
+            run_participant(
+                cfg,
+                corpus,
+                universe,
+                ctx.resolver(),
+                &cue_cache,
+                &base,
+                *id,
+            )
+        });
+
         let mut dataset = SurveyDataset {
             participants_started: cfg.participants,
             ..SurveyDataset::default()
         };
-
-        for participant_id in 0..cfg.participants {
-            let participant = Participant::generate(participant_id, &mut rng);
-
-            // Draw this participant's question list: pairs_per_group from
-            // each group (or as many as exist), shuffled together.
-            let mut questions: Vec<SitePair> = Vec::new();
-            for group in PairGroup::ALL {
-                let pool = universe.group(group);
-                if pool.is_empty() {
-                    continue;
-                }
-                questions.extend(sample_without_replacement(
-                    pool,
-                    cfg.pairs_per_group,
-                    &mut rng,
-                ));
-            }
-            shuffle(&mut questions, &mut rng);
-
-            for pair in questions {
-                if participant.skips(&mut rng) {
-                    continue;
-                }
-                let cues = *cue_cache
-                    .entry((pair.first.clone(), pair.second.clone()))
-                    .or_insert_with(|| Cues::observe_cached(corpus, &pair, resolver));
-                let (verdict, seconds) = participant.judge(&cues, &mut rng);
-                dataset.responses.push(SurveyResponse {
-                    participant: participant_id,
-                    pair,
-                    verdict,
-                    seconds,
-                });
-                if participant.drops_out(&mut rng) {
-                    break;
-                }
-            }
-
-            if let Some(report) = participant.report_factors(&mut rng) {
+        for session in sessions {
+            dataset.responses.extend(session.responses);
+            if let Some(report) = session.factor_report {
                 dataset.factor_reports.push(report);
             }
         }
-
         dataset
     }
+}
+
+/// Everything one participant produced: their answered questions (in the
+/// order they answered them) and their factor questionnaire, if any.
+struct ParticipantSession {
+    responses: Vec<SurveyResponse>,
+    factor_report: Option<FactorReport>,
+}
+
+/// One complete survey session, pure in `(config, corpus, universe,
+/// participant id)`: the participant's behaviour comes entirely from the
+/// stream derived from their id, so sessions can run in any order, on any
+/// thread, and produce the same answers.
+fn run_participant(
+    cfg: SurveyConfig,
+    corpus: &Corpus,
+    universe: &PairUniverse,
+    resolver: &SiteResolver,
+    cue_cache: &CueCache,
+    base: &Xoshiro256StarStar,
+    participant_id: usize,
+) -> ParticipantSession {
+    let mut rng = base.derive(&format!("participant:{participant_id}"));
+    let participant = Participant::generate(participant_id, &mut rng);
+
+    // Draw this participant's question list: pairs_per_group from each
+    // group (or as many as exist), shuffled together. Only the drawn
+    // questions are materialized into owned pairs — the universe itself
+    // stays indexed. Paper-scale pools use the partial Fisher–Yates draw
+    // (O(pool), preserves the established streams); scaled universes
+    // switch to the O(k) Floyd draw so per-session setup stays flat as
+    // the pool grows to millions of pairs.
+    const FLOYD_CUTOFF: usize = 4096;
+    let mut questions: Vec<SitePair> = Vec::new();
+    for group in PairGroup::ALL {
+        let pool = universe.group(group);
+        if pool.is_empty() {
+            continue;
+        }
+        let picks = if pool.len() >= FLOYD_CUTOFF {
+            sample_indices_floyd(pool.len(), cfg.pairs_per_group, &mut rng)
+        } else {
+            sample_indices_without_replacement(pool.len(), cfg.pairs_per_group, &mut rng)
+        };
+        questions.extend(
+            picks
+                .into_iter()
+                .map(|pick| universe.materialize(group, pool[pick])),
+        );
+    }
+    shuffle(&mut questions, &mut rng);
+
+    let mut session = ParticipantSession {
+        responses: Vec::with_capacity(questions.len()),
+        factor_report: None,
+    };
+    for pair in questions {
+        if participant.skips(&mut rng) {
+            continue;
+        }
+        let cues = cue_cache.observe(corpus, &pair, resolver);
+        let (verdict, seconds) = participant.judge(&cues, &mut rng);
+        session.responses.push(SurveyResponse {
+            participant: participant_id,
+            pair,
+            verdict,
+            seconds,
+        });
+        if participant.drops_out(&mut rng) {
+            break;
+        }
+    }
+    session.factor_report = participant.report_factors(&mut rng);
+    session
 }
 
 #[cfg(test)]
@@ -229,6 +328,51 @@ mod tests {
         let (_, a) = run_small(7);
         let (_, b) = run_small(7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_and_sequential_runs_are_identical() {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(31)).generate();
+        let categories = CategoryDatabase::from_ground_truth(&corpus);
+        let mut rng = Xoshiro256StarStar::new(9);
+        let universe = PairGenerator::new(&corpus, &categories).generate(&mut rng);
+        let runner = SurveyRunner::new(SurveyConfig::default());
+        let pooled_ctx = EngineContext::embedded();
+        let pooled = runner.run_on(&corpus, &universe, &pooled_ctx);
+        let sequential = runner.run_on(&corpus, &universe, &pooled_ctx.sequential_twin());
+        assert_eq!(pooled, sequential);
+    }
+
+    #[test]
+    fn distinct_participant_counts_match_sort_dedup_oracle() {
+        let (_, dataset) = run_small(6);
+        let oracle = |ids: Vec<usize>| {
+            let mut ids = ids;
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        assert_eq!(
+            dataset.active_participants(),
+            oracle(dataset.responses.iter().map(|r| r.participant).collect())
+        );
+        assert_eq!(
+            dataset.participants_with_privacy_harming_error(),
+            oracle(
+                dataset
+                    .responses
+                    .iter()
+                    .filter(|r| r.privacy_harming_error())
+                    .map(|r| r.participant)
+                    .collect()
+            )
+        );
+        // Sparse ids (an analysis slicing a subset) still count correctly.
+        assert_eq!(
+            count_distinct_participants([3, 200, 3, 64, 200].into_iter()),
+            3
+        );
+        assert_eq!(count_distinct_participants(std::iter::empty()), 0);
     }
 
     #[test]
