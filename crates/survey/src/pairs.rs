@@ -41,6 +41,7 @@ use rws_engine::EngineContext;
 use rws_stats::rng::Rng;
 use rws_stats::sampling::sample_without_replacement;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Which of the four groups a pair belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -226,21 +227,37 @@ impl Default for SurveyScale {
 }
 
 /// Precomputed membership facts about the (possibly scaled) member pool:
-/// a hash set for O(1) membership tests and one integer set id per member,
-/// so the O(members²) group-2 sweep compares integers instead of walking
-/// the list's `BTreeMap` index twice per pair.
+/// a member → position map for O(1) membership tests and one integer set
+/// id per member, so the O(members²) group-2 sweep compares integers
+/// instead of walking the list's `BTreeMap` index twice per pair and the
+/// group-1 loop answers membership without scanning the pool.
 struct MemberIndex {
     members: Vec<DomainName>,
+    position_of: HashMap<DomainName, u32>,
     set_of: Vec<Option<usize>>,
 }
 
 impl MemberIndex {
     fn build(corpus: &Corpus, members: Vec<DomainName>) -> MemberIndex {
+        let position_of: HashMap<DomainName, u32> = members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i as u32))
+            .collect();
         let set_of: Vec<Option<usize>> = members
             .iter()
             .map(|m| corpus.list.set_index_of(m))
             .collect();
-        MemberIndex { members, set_of }
+        MemberIndex {
+            members,
+            position_of,
+            set_of,
+        }
+    }
+
+    /// The position of a domain in the member pool, if it is eligible.
+    fn position_of(&self, domain: &DomainName) -> Option<u32> {
+        self.position_of.get(domain).copied()
     }
 
     /// True when members `i` and `j` belong to the same set — exactly
@@ -350,13 +367,15 @@ impl<'a> PairGenerator<'a> {
 
         // Group 1: each set primary paired with each of its associated
         // sites ("all combinations of set primaries and associated sites
-        // within each set"), restricted to eligible members.
+        // within each set"), restricted to eligible members — membership
+        // (and the pair's site indices) answered by the member → position
+        // map instead of scanning the pool per site.
         for set in self.corpus.list.sets() {
-            let Some(primary) = member_position(members, set.primary()) else {
+            let Some(primary) = index.position_of(set.primary()) else {
                 continue;
             };
             for associated in set.associated_sites() {
-                if let Some(associated) = member_position(members, associated) {
+                if let Some(associated) = index.position_of(associated) {
                     universe.same_set.push(PairRef {
                         first: primary,
                         second: associated,
