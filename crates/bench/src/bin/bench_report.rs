@@ -13,7 +13,11 @@ use rws_bench::{bench_scenario, domain_pairs};
 use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
 use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
 use rws_engine::EngineContext;
-use rws_html::similarity::{html_similarity_naive, DocumentProfile, SimilarityWeights};
+use rws_html::similarity::{
+    html_similarity_naive, DocumentProfile, ProfileScratch, SimilarityWeights,
+};
+use rws_stats::rng::Xoshiro256StarStar;
+use rws_survey::{PairGenerator, SurveyRunner, SurveyScale};
 use serde_json::{json, Map, Value};
 use std::hint::black_box;
 use std::time::Instant;
@@ -212,6 +216,114 @@ fn main() {
     });
     kernels.insert("figure3_sweep".into(), json!(fig3_ns));
     kernels.insert("figure4_sweep".into(), json!(fig4_ns));
+
+    // --- Figure 4 profile phase: recycled scratch vs fresh buffers ---------
+    // The same profiling sweep the Figure 4 experiment runs, measured with
+    // `par_map` (fresh tag/class accumulators per document) against
+    // `par_map_with` (per-worker recycled `ProfileScratch`).
+    let profile_docs: Vec<String> = {
+        let mut seen: std::collections::HashSet<DomainName> = std::collections::HashSet::new();
+        let mut distinct: Vec<DomainName> = Vec::new();
+        for (primary, member, _) in scenario.corpus.list.member_primary_pairs() {
+            for domain in [primary, member] {
+                if seen.insert(domain.clone()) {
+                    distinct.push(domain);
+                }
+            }
+        }
+        distinct
+            .iter()
+            .filter_map(|d| scenario.corpus.html_of(d))
+            .take(64)
+            .collect()
+    };
+    assert!(
+        profile_docs.len() >= 32,
+        "profile sweep needs enough documents to leave the inline cutoff"
+    );
+    let profile_plain_ns = measure(|| {
+        black_box(rws_stats::parallel::par_map(&profile_docs, |_, html| {
+            DocumentProfile::new(html, weights)
+        }));
+    });
+    let profile_scratch_ns = measure(|| {
+        black_box(rws_stats::parallel::par_map_with(
+            ProfileScratch::default(),
+            &profile_docs,
+            |scratch, _, html| DocumentProfile::with_scratch(html, weights, scratch),
+        ));
+    });
+    kernels.insert("figure4_profile_par_map".into(), json!(profile_plain_ns));
+    kernels.insert(
+        "figure4_profile_par_map_with".into(),
+        json!(profile_scratch_ns),
+    );
+    speedups.insert(
+        "figure4_par_map_with_vs_par_map".into(),
+        json!(profile_plain_ns / profile_scratch_ns),
+    );
+
+    // --- pair generation: indexed membership vs naive double loop ----------
+    // The survey's pair universe at 32× the paper's member pool: the naive
+    // generator walks the list's BTreeMap index twice per candidate pair,
+    // the indexed generator compares precomputed integer set ids.
+    let scale_32x = SurveyScale::times(32);
+    let pair_generator =
+        PairGenerator::with_scale(&scenario.corpus, &scenario.categories, scale_32x);
+    let pair_naive_ns = measure(|| {
+        black_box(pair_generator.generate_naive(&mut Xoshiro256StarStar::new(7)));
+    });
+    let pair_indexed_ns = measure(|| {
+        black_box(pair_generator.generate(&mut Xoshiro256StarStar::new(7)));
+    });
+    let pair_ctx = EngineContext::new();
+    let pair_pooled_ns = measure(|| {
+        black_box(pair_generator.generate_on(&mut Xoshiro256StarStar::new(7), &pair_ctx));
+    });
+    kernels.insert("pair_universe_naive_32x".into(), json!(pair_naive_ns));
+    kernels.insert("pair_universe_indexed_32x".into(), json!(pair_indexed_ns));
+    kernels.insert("pair_universe_pooled_32x".into(), json!(pair_pooled_ns));
+    speedups.insert(
+        "pair_universe_indexed_vs_naive_32x".into(),
+        json!(pair_naive_ns / pair_indexed_ns),
+    );
+    speedups.insert(
+        "pair_universe_pooled_vs_naive_32x".into(),
+        json!(pair_naive_ns / pair_pooled_ns),
+    );
+
+    // --- survey runner: pooled vs sequential, paper scale and 32× ----------
+    // One pool task per participant against the shared cue cache. The 32×
+    // kernel runs 960 sessions over the true 32×-member universe built
+    // above (~500k candidate pairs; Floyd draws keep per-session setup
+    // O(k)). On a single-core host the pool runs zero workers and the
+    // caller drains the batch inline, so pooled-vs-sequential must sit
+    // within noise of 1.0 (the caller-helps degeneration); multi-core
+    // hosts fan the sessions out.
+    let universe_32x = pair_generator.generate_on(&mut Xoshiro256StarStar::new(7), &pair_ctx);
+    let survey_ctx = EngineContext::new();
+    let survey_sequential_ctx = survey_ctx.sequential_twin();
+    for (label, scale, universe) in [
+        ("paper", SurveyScale::paper(), &scenario.pairs),
+        ("32x", scale_32x, &universe_32x),
+    ] {
+        let runner = SurveyRunner::new(scale.survey_config(0x5343_2024));
+        let pooled_ns = measure(|| {
+            black_box(runner.run_on(&scenario.corpus, universe, &survey_ctx));
+        });
+        let sequential_ns = measure(|| {
+            black_box(runner.run_on(&scenario.corpus, universe, &survey_sequential_ctx));
+        });
+        kernels.insert(format!("survey_runner_pooled_{label}"), json!(pooled_ns));
+        kernels.insert(
+            format!("survey_runner_sequential_{label}"),
+            json!(sequential_ns),
+        );
+        speedups.insert(
+            format!("survey_pooled_vs_sequential_{label}"),
+            json!(sequential_ns / pooled_ns),
+        );
+    }
 
     // --- parallel sweeps: persistent pool vs spawn-per-call ----------------
     // The same element-granularity work stealing, dispatched to the
