@@ -14,7 +14,8 @@
 //! classification followed by pair construction and the survey — run
 //! concurrently on the context's thread pool, each internally fanning out
 //! again (per-submitter history replays, per-page corpus rendering,
-//! per-member pair sweeps, per-participant survey sessions). Every stage
+//! per-site content classification, per-member pair sweeps,
+//! per-participant survey sessions). Every stage
 //! draws from derived rng streams keyed by task identity, so the pooled
 //! pipeline is field-for-field identical to
 //! [`Scenario::generate_sequential`], which the equivalence property tests
@@ -133,7 +134,7 @@ impl Scenario {
                 (history, snapshots)
             },
             || {
-                let categories = CategoryDatabase::classify_corpus(&corpus);
+                let categories = CategoryDatabase::classify_corpus_on(&corpus, ctx);
                 let mut pair_rng =
                     Xoshiro256StarStar::new(config.survey.seed).derive("pair-universe");
                 let mut pair_generator = PairGenerator::new(&corpus, &categories);

@@ -10,12 +10,15 @@
 
 use rws_analysis::{PaperReproduction, Scenario, ScenarioConfig};
 use rws_bench::{bench_scenario, domain_pairs};
+use rws_classify::{CategoryDatabase, KeywordClassifier};
+use rws_corpus::{CorpusConfig, CorpusGenerator};
 use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
 use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
 use rws_engine::EngineContext;
 use rws_html::similarity::{
     html_similarity_naive, DocumentProfile, ProfileScratch, SimilarityWeights,
 };
+use rws_html::{tokenize, Tokens};
 use rws_stats::rng::Xoshiro256StarStar;
 use rws_survey::{PairGenerator, SurveyRunner, SurveyScale};
 use serde_json::{json, Map, Value};
@@ -321,6 +324,111 @@ fn main() {
         );
         speedups.insert(
             format!("survey_pooled_vs_sequential_{label}"),
+            json!(sequential_ns / pooled_ns),
+        );
+    }
+
+    // --- streaming tokenizer vs owned oracle -------------------------------
+    // One full tokenization of each corpus page: the owned tokenizer
+    // materialises every token (Strings + attribute maps), the streaming
+    // tokenizer hands out borrowed slices and parses attributes lazily.
+    let tokenizer_owned_ns = measure(|| {
+        let mut tokens = 0usize;
+        for doc in &docs {
+            tokens += tokenize(doc).len();
+        }
+        black_box(tokens);
+    });
+    let tokenizer_streaming_ns = measure(|| {
+        let mut tokens = 0usize;
+        for doc in &docs {
+            tokens += Tokens::new(doc).count();
+        }
+        black_box(tokens);
+    });
+    kernels.insert("tokenizer_owned_corpus".into(), json!(tokenizer_owned_ns));
+    kernels.insert(
+        "tokenizer_streaming_corpus".into(),
+        json!(tokenizer_streaming_ns),
+    );
+    speedups.insert(
+        "tokenizer_streaming_vs_owned".into(),
+        json!(tokenizer_owned_ns / tokenizer_streaming_ns),
+    );
+
+    // --- classification: single-pass automaton vs seed classifier ----------
+    // The seed classifier tokenizes every page three times, builds an owned
+    // lowercase haystack and rescans it once per keyword (~70); the
+    // automaton streams the page once. Same pages, same answers
+    // (property-tested); the speedup is the headline number of this report.
+    let classify_pages: Vec<(DomainName, String)> = scenario
+        .corpus
+        .sites
+        .values()
+        .filter(|s| s.live)
+        .filter_map(|s| {
+            scenario
+                .corpus
+                .html_of(&s.domain)
+                .map(|h| (s.domain.clone(), h))
+        })
+        .take(48)
+        .collect();
+    assert!(
+        classify_pages.len() >= 24,
+        "classification bench needs a page sample"
+    );
+    let classifier = KeywordClassifier::new();
+    let classify_naive_ns = measure(|| {
+        for (domain, html) in &classify_pages {
+            black_box(classifier.classify_naive(domain, html));
+        }
+    });
+    let classify_automaton_ns = measure(|| {
+        for (domain, html) in &classify_pages {
+            black_box(classifier.classify(domain, html));
+        }
+    });
+    kernels.insert("classify_naive_corpus".into(), json!(classify_naive_ns));
+    kernels.insert(
+        "classify_automaton_corpus".into(),
+        json!(classify_automaton_ns),
+    );
+    speedups.insert(
+        "classify_automaton_vs_naive".into(),
+        json!(classify_naive_ns / classify_automaton_ns),
+    );
+
+    // --- classify_corpus: pooled vs sequential, paper and scaled corpora ---
+    // One pool task per site over the whole corpus (the survey chain's
+    // first stage). As with every pooled-vs-sequential kernel, a
+    // single-core host degenerates to the inline loop and the ratio sits
+    // at 1.0 by design; multi-core hosts fan the sites out.
+    let scaled_corpus = CorpusGenerator::new(CorpusConfig {
+        organisations: 96,
+        top_sites: 480,
+        ..CorpusConfig::default()
+    })
+    .generate();
+    let classify_ctx = EngineContext::new();
+    let classify_sequential_ctx = classify_ctx.sequential_twin();
+    for (label, corpus) in [("paper", &scenario.corpus), ("scaled", &scaled_corpus)] {
+        let pooled_ns = measure(|| {
+            black_box(CategoryDatabase::classify_corpus_on(corpus, &classify_ctx));
+        });
+        let sequential_ns = measure(|| {
+            black_box(CategoryDatabase::classify_corpus_on(
+                corpus,
+                &classify_sequential_ctx,
+            ));
+        });
+        kernels.insert(format!("classify_corpus_pooled_{label}"), json!(pooled_ns));
+        kernels.insert(
+            format!("classify_corpus_sequential_{label}"),
+            json!(sequential_ns),
+        );
+        speedups.insert(
+            format!("classify_corpus_pooled_vs_sequential_{label}"),
             json!(sequential_ns / pooled_ns),
         );
     }

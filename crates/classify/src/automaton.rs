@@ -1,0 +1,337 @@
+//! The single-pass keyword automaton behind [`crate::KeywordClassifier`].
+//!
+//! The seed classifier rescans the page once per keyword (~70 keywords ×
+//! every word on the page). The automaton inverts that: a process-wide
+//! token → (category, hit-weight) map is built once from
+//! [`CATEGORY_KEYWORDS`](crate::keyword), and classification becomes a
+//! single pass over the page's word stream — each word costs a two-array
+//! prefilter probe (first byte × length), and only words that could be
+//! keyword vocabulary pay one FNV hash lookup; a small side matcher
+//! advances the few multi-word keywords ("release notes", "free
+//! shipping") as word sequences.
+//!
+//! Matching semantics follow the seed classifier: single-word keywords hit
+//! on exact word matches over the alphanumeric word split, case-insensitive.
+//! Multi-word keywords hit when their words appear as consecutive words of
+//! the stream — the seed's substring scan and this word-sequence rule agree
+//! on natural text (the property tests assert equality over every rendered
+//! corpus page), and the seed path is retained as
+//! [`KeywordClassifier::classify_naive`](crate::KeywordClassifier::classify_naive)
+//! to keep that contract checkable.
+
+use crate::keyword::CATEGORY_KEYWORDS;
+use rws_corpus::SiteCategory;
+use rws_stats::memo::FnvBuildHasher;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Upper bound on distinct categories, sized so a matcher's hit counters
+/// live on the stack.
+const MAX_CATEGORIES: usize = 16;
+
+/// A multi-word keyword, matched as a sequence of consecutive words.
+#[derive(Debug)]
+struct MultiKeyword {
+    words: Vec<&'static str>,
+    category: u8,
+}
+
+/// What one vocabulary token means: the (category, weight) hits it scores
+/// as a single-word keyword, and the multi-word sequences it starts.
+#[derive(Debug, Default)]
+struct Entry {
+    hits: Vec<(u8, u32)>,
+    starts: Vec<u16>,
+}
+
+/// The compiled keyword tables: one FNV-hashed map from vocabulary tokens
+/// to their [`Entry`], the multi-word sequences, and a (first byte ×
+/// length) prefilter that rejects the overwhelming majority of page words
+/// without hashing at all. Built once per process
+/// ([`KeywordAutomaton::global`]).
+#[derive(Debug)]
+pub struct KeywordAutomaton {
+    /// Categories in [`CATEGORY_KEYWORDS`] order — the tie-break order the
+    /// seed classifier iterates in.
+    categories: Vec<SiteCategory>,
+    /// Vocabulary token → its hits and sequence starts.
+    entries: HashMap<&'static str, Entry, FnvBuildHasher>,
+    /// All multi-word keywords.
+    multi: Vec<MultiKeyword>,
+    /// `prefilter[first_byte]` has bit `min(len, 31)` set when some
+    /// vocabulary word (single, sequence start or sequence continuation)
+    /// starts with that (lower-cased) byte at that length. A word that
+    /// fails the probe cannot score or advance anything.
+    prefilter: [u32; 256],
+    /// Distinct single-word vocabulary tokens (diagnostics only).
+    single_words: usize,
+}
+
+impl KeywordAutomaton {
+    /// The process-wide automaton over the classifier's vocabulary.
+    pub fn global() -> &'static KeywordAutomaton {
+        static AUTOMATON: OnceLock<KeywordAutomaton> = OnceLock::new();
+        AUTOMATON.get_or_init(KeywordAutomaton::build)
+    }
+
+    fn build() -> KeywordAutomaton {
+        assert!(
+            CATEGORY_KEYWORDS.len() <= MAX_CATEGORIES,
+            "grow MAX_CATEGORIES to cover the keyword table"
+        );
+        let mut categories = Vec::with_capacity(CATEGORY_KEYWORDS.len());
+        let mut entries: HashMap<&'static str, Entry, FnvBuildHasher> = HashMap::default();
+        let mut multi: Vec<MultiKeyword> = Vec::new();
+        let mut prefilter = [0u32; 256];
+        let mut admit = |word: &str| {
+            let first = word.as_bytes()[0].to_ascii_lowercase();
+            prefilter[first as usize] |= 1u32 << word.len().min(31);
+        };
+        let mut single_words = 0usize;
+        for (ci, (category, keywords)) in CATEGORY_KEYWORDS.iter().enumerate() {
+            categories.push(*category);
+            for keyword in *keywords {
+                let mut words = keyword.split(' ').filter(|w| !w.is_empty());
+                let first = words.next().expect("keywords are non-empty");
+                let rest: Vec<&'static str> = words.collect();
+                admit(first);
+                if rest.is_empty() {
+                    let entry = entries.entry(first).or_default();
+                    if entry.hits.is_empty() {
+                        single_words += 1;
+                    }
+                    match entry.hits.iter_mut().find(|(c, _)| *c as usize == ci) {
+                        Some((_, weight)) => *weight += 1,
+                        None => entry.hits.push((ci as u8, 1)),
+                    }
+                } else {
+                    // Continuation words must pass the prefilter too, or
+                    // in-flight sequences could never advance.
+                    for word in &rest {
+                        admit(word);
+                    }
+                    let mut sequence = vec![first];
+                    sequence.extend(rest);
+                    let idx = multi.len() as u16;
+                    multi.push(MultiKeyword {
+                        words: sequence,
+                        category: ci as u8,
+                    });
+                    entries.entry(first).or_default().starts.push(idx);
+                }
+            }
+        }
+        KeywordAutomaton {
+            categories,
+            entries,
+            multi,
+            prefilter,
+            single_words,
+        }
+    }
+
+    /// A fresh matcher over this automaton, ready to be fed words.
+    pub fn matcher(&self) -> TokenMatcher<'_> {
+        TokenMatcher {
+            automaton: self,
+            hits: [0; MAX_CATEGORIES],
+            active: Vec::new(),
+            lower_buf: String::new(),
+        }
+    }
+
+    /// Number of distinct single-word keyword tokens.
+    pub fn single_word_count(&self) -> usize {
+        self.single_words
+    }
+
+    /// Number of multi-word keyword sequences.
+    pub fn multi_word_count(&self) -> usize {
+        self.multi.len()
+    }
+}
+
+/// Streaming matcher state: per-category hit counters plus the in-flight
+/// multi-word candidates. Feed it every word of the page (in haystack
+/// order), then ask [`finish`](Self::finish) for the category.
+#[derive(Debug)]
+pub struct TokenMatcher<'a> {
+    automaton: &'a KeywordAutomaton,
+    hits: [usize; MAX_CATEGORIES],
+    /// (multi keyword index, next expected word index) candidates.
+    active: Vec<(u16, u8)>,
+    /// Reused buffer for the rare words that need ASCII lower-casing.
+    lower_buf: String,
+}
+
+impl TokenMatcher<'_> {
+    /// Feed one word (case-insensitive; lower-casing is handled here so
+    /// callers can pass borrowed slices straight from the token stream).
+    #[inline]
+    pub fn feed(&mut self, word: &str) {
+        let bytes = word.as_bytes();
+        let Some(&first) = bytes.first() else {
+            return;
+        };
+        // The hot path: most page words share neither first byte nor
+        // length with any vocabulary word — two array reads settle them.
+        let len_bit = 1u32 << bytes.len().min(31);
+        if self.automaton.prefilter[first.to_ascii_lowercase() as usize] & len_bit == 0 {
+            // Not vocabulary: its only effect is breaking word adjacency
+            // for any in-flight multi-word sequence.
+            self.active.clear();
+            return;
+        }
+        if bytes.iter().any(|b| b.is_ascii_uppercase()) {
+            let mut buf = std::mem::take(&mut self.lower_buf);
+            buf.clear();
+            buf.push_str(word);
+            buf.make_ascii_lowercase();
+            self.step(&buf);
+            self.lower_buf = buf;
+        } else {
+            self.step(word);
+        }
+    }
+
+    /// Split a text run into alphanumeric words (the seed classifier's word
+    /// boundary rule) and feed each. Scans bytes rather than chars: the
+    /// boundary predicate is ASCII-only and every byte of a multi-byte
+    /// UTF-8 character is a non-alphanumeric byte, so the byte split
+    /// produces exactly the words of
+    /// `text.split(|c: char| !c.is_ascii_alphanumeric())` — and each word
+    /// is pure ASCII, so slicing at byte offsets stays on char boundaries.
+    pub fn feed_text(&mut self, text: &str) {
+        let bytes = text.as_bytes();
+        let mut start = 0usize;
+        for (i, b) in bytes.iter().enumerate() {
+            if !b.is_ascii_alphanumeric() {
+                if i > start {
+                    self.feed(&text[start..i]);
+                }
+                start = i + 1;
+            }
+        }
+        if bytes.len() > start {
+            self.feed(&text[start..]);
+        }
+    }
+
+    fn step(&mut self, word: &str) {
+        // Advance in-flight multi-word candidates; completed ones score,
+        // mismatches drop.
+        let mut kept = 0;
+        for idx in 0..self.active.len() {
+            let (m, pos) = self.active[idx];
+            let keyword = &self.automaton.multi[m as usize];
+            if keyword.words[pos as usize] == word {
+                if pos as usize + 1 == keyword.words.len() {
+                    self.hits[keyword.category as usize] += 1;
+                } else {
+                    self.active[kept] = (m, pos + 1);
+                    kept += 1;
+                }
+            }
+        }
+        self.active.truncate(kept);
+        // Score single-word hits and start new multi-word candidates.
+        if let Some(entry) = self.automaton.entries.get(word) {
+            for &(category, weight) in &entry.hits {
+                self.hits[category as usize] += weight as usize;
+            }
+            for &m in &entry.starts {
+                self.active.push((m, 1));
+            }
+        }
+    }
+
+    /// Total hits accumulated for a category.
+    pub fn hits_for(&self, category: SiteCategory) -> usize {
+        self.automaton
+            .categories
+            .iter()
+            .position(|c| *c == category)
+            .map(|i| self.hits[i])
+            .unwrap_or(0)
+    }
+
+    /// Resolve the best category, replicating the seed classifier's
+    /// selection exactly: first category (in vocabulary order) with the
+    /// strictly highest hit count, `Unknown` below the threshold.
+    pub fn finish(&self, min_hits: usize) -> SiteCategory {
+        let mut best: Option<(SiteCategory, usize)> = None;
+        for (i, category) in self.automaton.categories.iter().enumerate() {
+            let hits = self.hits[i];
+            match best {
+                Some((_, best_hits)) if best_hits >= hits => {}
+                _ => best = Some((*category, hits)),
+            }
+        }
+        match best {
+            Some((category, hits)) if hits >= min_hits => category,
+            _ => SiteCategory::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn automaton_covers_the_vocabulary() {
+        let automaton = KeywordAutomaton::global();
+        let total: usize = CATEGORY_KEYWORDS.iter().map(|(_, kws)| kws.len()).sum();
+        assert_eq!(
+            automaton.single_word_count() + automaton.multi_word_count(),
+            total,
+            "every keyword compiles into exactly one table entry"
+        );
+        assert_eq!(
+            automaton.multi_word_count(),
+            2,
+            "release notes, free shipping"
+        );
+    }
+
+    #[test]
+    fn single_words_score_their_category() {
+        let automaton = KeywordAutomaton::global();
+        let mut matcher = automaton.matcher();
+        matcher.feed("news");
+        matcher.feed("breaking");
+        matcher.feed("NEWS");
+        assert_eq!(matcher.hits_for(SiteCategory::NewsAndMedia), 3);
+        assert_eq!(matcher.finish(2), SiteCategory::NewsAndMedia);
+        assert_eq!(matcher.finish(4), SiteCategory::Unknown);
+    }
+
+    #[test]
+    fn multi_word_sequences_need_adjacency() {
+        let automaton = KeywordAutomaton::global();
+        let mut matcher = automaton.matcher();
+        matcher.feed_text("free shipping on everything");
+        assert_eq!(matcher.hits_for(SiteCategory::Shopping), 1);
+
+        let mut broken = automaton.matcher();
+        broken.feed_text("free fast shipping");
+        assert_eq!(broken.hits_for(SiteCategory::Shopping), 0);
+
+        let mut restart = automaton.matcher();
+        restart.feed_text("free free shipping");
+        assert_eq!(restart.hits_for(SiteCategory::Shopping), 1);
+
+        // A word outside the vocabulary breaks adjacency even though the
+        // prefilter short-circuits it ("zzz" shares no first-byte/length
+        // slot with any keyword word).
+        let mut severed = automaton.matcher();
+        severed.feed_text("free zzzzzzzzzzzzzzzzz shipping");
+        assert_eq!(severed.hits_for(SiteCategory::Shopping), 0);
+    }
+
+    #[test]
+    fn empty_stream_is_unknown() {
+        let matcher = KeywordAutomaton::global().matcher();
+        assert_eq!(matcher.finish(2), SiteCategory::Unknown);
+    }
+}

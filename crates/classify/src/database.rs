@@ -2,8 +2,9 @@
 //! query the ThreatSeeker service once per domain and reuse the answers.
 
 use crate::keyword::KeywordClassifier;
-use rws_corpus::{Corpus, SiteCategory};
+use rws_corpus::{Corpus, SiteCategory, SiteSpec};
 use rws_domain::DomainName;
+use rws_engine::EngineContext;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -21,19 +22,34 @@ impl CategoryDatabase {
 
     /// Build the database by running the keyword classifier over every live
     /// site in a corpus (offline sites get [`SiteCategory::Unknown`], like
-    /// unfetchable URLs do in the real service).
+    /// unfetchable URLs do in the real service), sequentially on the
+    /// calling thread.
     pub fn classify_corpus(corpus: &Corpus) -> CategoryDatabase {
         let classifier = KeywordClassifier::new();
         let mut db = CategoryDatabase::new();
         for spec in corpus.sites.values() {
-            let category = if spec.live {
-                match corpus.html_of(&spec.domain) {
-                    Some(html) => classifier.classify(&spec.domain, &html),
-                    None => SiteCategory::Unknown,
-                }
-            } else {
-                SiteCategory::Unknown
-            };
+            db.insert(
+                spec.domain.clone(),
+                site_category(&classifier, corpus, spec),
+            );
+        }
+        db
+    }
+
+    /// Like [`classify_corpus`](Self::classify_corpus), fanning one pool
+    /// task per site across the engine's pool. Classification of a page is
+    /// a pure function of its domain and HTML, and the results are stitched
+    /// back in the corpus's (sorted) site order, so the database is
+    /// field-for-field identical to the sequential build whether the
+    /// context is pooled or sequential — the equivalence the classify
+    /// property tests assert.
+    pub fn classify_corpus_on(corpus: &Corpus, ctx: &EngineContext) -> CategoryDatabase {
+        let classifier = KeywordClassifier::new();
+        let sites: Vec<&SiteSpec> = corpus.sites.values().collect();
+        let categories: Vec<SiteCategory> =
+            ctx.par_map(&sites, |_, spec| site_category(&classifier, corpus, spec));
+        let mut db = CategoryDatabase::new();
+        for (spec, category) in sites.into_iter().zip(categories) {
             db.insert(spec.domain.clone(), category);
         }
         db
@@ -113,6 +129,19 @@ impl CategoryDatabase {
     }
 }
 
+/// The category of one site: the classifier's verdict on its front page
+/// when it is live, [`SiteCategory::Unknown`] otherwise — the per-site
+/// function both corpus builds share.
+fn site_category(classifier: &KeywordClassifier, corpus: &Corpus, spec: &SiteSpec) -> SiteCategory {
+    if !spec.live {
+        return SiteCategory::Unknown;
+    }
+    match corpus.html_of(&spec.domain) {
+        Some(html) => classifier.classify(&spec.domain, &html),
+        None => SiteCategory::Unknown,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +199,16 @@ mod tests {
     fn agreement_with_empty_is_zero() {
         let db = CategoryDatabase::new();
         assert_eq!(db.agreement_with(&CategoryDatabase::new()), 0.0);
+    }
+
+    #[test]
+    fn pooled_corpus_classification_matches_sequential() {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(11)).generate();
+        let sequential = CategoryDatabase::classify_corpus(&corpus);
+        let ctx = EngineContext::new();
+        let pooled = CategoryDatabase::classify_corpus_on(&corpus, &ctx);
+        let inline = CategoryDatabase::classify_corpus_on(&corpus, &ctx.sequential_twin());
+        assert_eq!(pooled, sequential);
+        assert_eq!(inline, sequential);
     }
 }

@@ -13,14 +13,23 @@
 //!   for category-specific vocabulary (the synthetic templates embed the
 //!   same vocabulary, so accuracy is high but intentionally not perfect:
 //!   pages with little text fall back to [`SiteCategory::Unknown`], like the
-//!   real database's "unknown" rows in Figures 8 and 9);
+//!   real database's "unknown" rows in Figures 8 and 9). Production
+//!   classification is a single zero-copy streaming pass over the page
+//!   through the compiled [`KeywordAutomaton`]; the seed implementation
+//!   (three tokenizations + a per-keyword haystack rescan) survives as
+//!   `classify_naive`, the property-tested oracle;
 //! * [`CategoryDatabase`] — a lookup service pre-populated from classifier
 //!   output (or corpus ground truth), modelling how the paper's scripts
-//!   query ThreatSeeker once and cache the answers.
+//!   query ThreatSeeker once and cache the answers. Corpus-wide builds fan
+//!   one pool task per site over an `EngineContext`
+//!   ([`CategoryDatabase::classify_corpus_on`]) with deterministic insert
+//!   order.
 
+pub mod automaton;
 pub mod database;
 pub mod keyword;
 
+pub use automaton::KeywordAutomaton;
 pub use database::CategoryDatabase;
 pub use keyword::KeywordClassifier;
 pub use rws_corpus::SiteCategory;

@@ -1,0 +1,108 @@
+//! Equivalence gates for the classification rework.
+//!
+//! Three contracts, each property-tested across seeds:
+//!
+//! * the zero-copy streaming tokenizer reproduces the owned oracle token
+//!   for token on every rendered corpus page (the inputs classification
+//!   actually runs on — the html crate's own property tests cover
+//!   arbitrary/malformed strings);
+//! * the single-pass automaton classifier agrees with the retained seed
+//!   classifier (`classify_naive`) on every rendered page and every corpus
+//!   member;
+//! * `classify_corpus_on` is field-for-field identical to the sequential
+//!   `classify_corpus`, pooled, inline, and on a forced 3-worker pool.
+
+use proptest::prelude::*;
+use rws_classify::{CategoryDatabase, KeywordClassifier};
+use rws_corpus::{Brand, CorpusConfig, CorpusGenerator, Language, SiteCategory};
+use rws_domain::{DomainName, SiteResolver};
+use rws_engine::EngineContext;
+use rws_html::{tokenize, Token, Tokens};
+use rws_stats::pool::ThreadPool;
+use rws_stats::rng::Xoshiro256StarStar;
+
+fn streamed(html: &str) -> Vec<Token> {
+    Tokens::new(html).map(|t| t.to_token()).collect()
+}
+
+proptest! {
+    /// Streaming tokenizer ≡ owned `tokenize` over rendered corpus pages:
+    /// one page per category, brand and seed drawn from the same generator
+    /// the corpus templates use.
+    #[test]
+    fn streaming_tokenizer_matches_owned_on_rendered_pages(seed in 0u64..1_000_000) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for category in [
+            SiteCategory::NewsAndMedia,
+            SiteCategory::Shopping,
+            SiteCategory::AnalyticsInfrastructure,
+            SiteCategory::SocialNetworking,
+        ] {
+            let brand = Brand::generate(&mut rng);
+            let domain = DomainName::parse(&format!("{}.example", brand.slug)).unwrap();
+            let html =
+                rws_corpus::render_site(&domain, &brand, category, Language::English, &mut rng);
+            prop_assert_eq!(streamed(&html), tokenize(&html));
+        }
+    }
+
+    /// Automaton `classify` ≡ seed `classify_naive` on rendered pages of
+    /// every category and language mix the corpus produces.
+    #[test]
+    fn automaton_classify_matches_naive_on_rendered_pages(seed in 0u64..1_000_000) {
+        let classifier = KeywordClassifier::new();
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for category in SiteCategory::ALL {
+            for language in [Language::English, Language::NonEnglish] {
+                let brand = Brand::generate(&mut rng);
+                let domain = DomainName::parse(&format!("{}.example", brand.slug)).unwrap();
+                let html = rws_corpus::render_site(&domain, &brand, category, language, &mut rng);
+                prop_assert_eq!(
+                    classifier.classify(&domain, &html),
+                    classifier.classify_naive(&domain, &html),
+                    "divergence on a {:?}/{:?} page", category, language
+                );
+            }
+        }
+    }
+
+    /// Pooled `classify_corpus_on` ≡ sequential `classify_corpus` across
+    /// corpus seeds — and the per-site streaming/naive agreement holds over
+    /// every live page of those corpora.
+    #[test]
+    fn corpus_classification_parallel_equivalence(seed in 0u64..1_000_000) {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(seed % 61)).generate();
+        let sequential = CategoryDatabase::classify_corpus(&corpus);
+        let ctx = EngineContext::new();
+        let pooled = CategoryDatabase::classify_corpus_on(&corpus, &ctx);
+        let inline = CategoryDatabase::classify_corpus_on(&corpus, &ctx.sequential_twin());
+        prop_assert_eq!(&pooled, &sequential);
+        prop_assert_eq!(&inline, &sequential);
+
+        let classifier = KeywordClassifier::new();
+        for spec in corpus.sites.values().filter(|s| s.live).take(40) {
+            let html = corpus.html_of(&spec.domain).unwrap_or_default();
+            prop_assert_eq!(
+                classifier.classify(&spec.domain, &html),
+                classifier.classify_naive(&spec.domain, &html),
+                "streaming/naive divergence on corpus member {}", spec.domain
+            );
+        }
+    }
+}
+
+/// Same equivalence on a pool with exactly three workers (plus the helping
+/// caller), independent of the host's core count — the same forced-pool
+/// gate the survey subsystem carries.
+#[test]
+fn corpus_classification_on_forced_three_worker_pool() {
+    let pool = ThreadPool::new(3);
+    assert_eq!(pool.worker_count(), 3);
+    let ctx = EngineContext::with_parts(pool, SiteResolver::full());
+    for seed in [3u64, 17, 29] {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(seed)).generate();
+        let pooled = CategoryDatabase::classify_corpus_on(&corpus, &ctx);
+        let sequential = CategoryDatabase::classify_corpus(&corpus);
+        assert_eq!(pooled, sequential, "divergence at corpus seed {seed}");
+    }
+}

@@ -1,16 +1,21 @@
 //! Feature extraction from tokenized HTML: tag sequences, class sets, text
 //! and titles.
+//!
+//! Every extractor here runs on the zero-copy streaming tokenizer
+//! ([`Tokens`]): the document is scanned once and only the strings that end
+//! up in the result are allocated. The owned [`crate::tokenizer::tokenize`]
+//! remains the equivalence oracle the property tests compare the stream
+//! against.
 
-use crate::tokenizer::{tokenize, Token};
+use crate::tokenizer::{StreamToken, Tokens};
 use std::collections::BTreeSet;
 
 /// The sequence of opening-tag names in document order — the input to the
 /// structural similarity metric.
 pub fn tag_sequence(html: &str) -> Vec<String> {
-    tokenize(html)
-        .into_iter()
+    Tokens::new(html)
         .filter_map(|t| match t {
-            Token::Open { name, .. } => Some(name),
+            StreamToken::Open { name, .. } => Some(name.into_owned()),
             _ => None,
         })
         .collect()
@@ -20,8 +25,8 @@ pub fn tag_sequence(html: &str) -> Vec<String> {
 /// the style similarity metric.
 pub fn class_set(html: &str) -> BTreeSet<String> {
     let mut classes = BTreeSet::new();
-    for token in tokenize(html) {
-        if let Token::Open { attributes, .. } = token {
+    for token in Tokens::new(html) {
+        if let StreamToken::Open { attributes, .. } = token {
             if let Some(class_attr) = attributes.get("class") {
                 for class in class_attr.split_whitespace() {
                     classes.insert(class.to_string());
@@ -35,29 +40,43 @@ pub fn class_set(html: &str) -> BTreeSet<String> {
 /// All visible text content, whitespace-normalised and joined with spaces.
 /// Script/style contents are excluded by the tokenizer.
 pub fn text_content(html: &str) -> String {
-    tokenize(html)
-        .into_iter()
-        .filter_map(|t| match t {
-            Token::Text(text) => Some(text),
-            _ => None,
-        })
-        .collect::<Vec<_>>()
-        .join(" ")
+    let mut text = String::new();
+    for token in Tokens::new(html) {
+        if let StreamToken::Text(part) = token {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&part);
+        }
+    }
+    text
 }
 
-/// The contents of the `<title>` element, if present.
+/// The contents of the `<title>` element, if present: every text run inside
+/// the element, joined with spaces (markup nested in the title contributes
+/// its text too, matching how browsers render `<title>A<b>B</b>C</title>`
+/// as "A B C").
 pub fn title(html: &str) -> Option<String> {
-    let tokens = tokenize(html);
     let mut in_title = false;
-    for token in tokens {
+    let mut parts: Vec<String> = Vec::new();
+    for token in Tokens::new(html) {
         match token {
-            Token::Open { ref name, .. } if name == "title" => in_title = true,
-            Token::Close { ref name } if name == "title" => in_title = false,
-            Token::Text(text) if in_title => return Some(text),
+            StreamToken::Open { ref name, .. } if name == "title" => in_title = true,
+            StreamToken::Close { ref name } if name == "title" => {
+                if !parts.is_empty() {
+                    return Some(parts.join(" "));
+                }
+                in_title = false;
+            }
+            StreamToken::Text(text) if in_title => parts.push(text.into_owned()),
             _ => {}
         }
     }
-    None
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(" "))
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +139,26 @@ mod tests {
     fn title_extraction() {
         assert_eq!(title(SAMPLE), Some("Example News".to_string()));
         assert_eq!(title("<html><body>no title</body></html>"), None);
+    }
+
+    #[test]
+    fn title_joins_all_text_runs() {
+        // Markup nested inside <title> splits its contents into several
+        // text tokens; all of them belong to the title.
+        assert_eq!(
+            title("<title>Breaking <em>news</em> today</title>"),
+            Some("Breaking news today".to_string())
+        );
+        // An unterminated title still yields its text.
+        assert_eq!(
+            title("<title>Dangling words"),
+            Some("Dangling words".to_string())
+        );
+        // An empty first title does not hide a later one.
+        assert_eq!(
+            title("<title></title><title>Second</title>"),
+            Some("Second".to_string())
+        );
     }
 
     #[test]

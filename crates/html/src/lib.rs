@@ -17,6 +17,12 @@
 //! of tag sequences and class sets, k-shingling, Jaccard similarity and the
 //! three metrics.
 //!
+//! Tokenization comes in two forms: the owned [`tokenize`] (the seed
+//! implementation, retained as the equivalence oracle) and the zero-copy
+//! streaming [`Tokens`] iterator, which yields [`StreamToken`]s borrowing
+//! from the document and only allocates for the rare lower-case/collapse
+//! fix-ups. All extractors and [`DocumentProfile`] run on the stream.
+//!
 //! ```
 //! use rws_html::similarity::{html_similarity, SimilarityWeights};
 //!
@@ -37,4 +43,4 @@ pub use similarity::{
     html_similarity, structural_similarity, style_similarity, DocumentProfile, HtmlSimilarity,
     ProfileScratch, SimilarityWeights,
 };
-pub use tokenizer::{tokenize, Token};
+pub use tokenizer::{tokenize, RawAttrs, StreamToken, Token, Tokens};

@@ -11,7 +11,7 @@
 
 use crate::extract::{class_set, tag_sequence};
 use crate::shingle::{hash_token, jaccard, jaccard_sorted, shingles, ShingleProfile};
-use crate::tokenizer::{tokenize, Token};
+use crate::tokenizer::{StreamToken, Tokens};
 use serde::{Deserialize, Serialize};
 
 /// Weights and parameters for the joint similarity.
@@ -95,6 +95,10 @@ impl DocumentProfile {
 
     /// Like [`new`](Self::new), reusing the caller's scratch buffers. The
     /// result is identical for any scratch state.
+    ///
+    /// Runs on the zero-copy streaming tokenizer: one pass over the
+    /// document, hashing tag names and class names straight out of the
+    /// borrowed token stream without materialising an owned token vector.
     pub fn with_scratch(
         html: &str,
         weights: SimilarityWeights,
@@ -105,8 +109,8 @@ impl DocumentProfile {
             .expect("invalid similarity weights supplied");
         scratch.tag_hashes.clear();
         scratch.classes.clear();
-        for token in tokenize(html) {
-            if let Token::Open {
+        for token in Tokens::new(html) {
+            if let StreamToken::Open {
                 name, attributes, ..
             } = token
             {

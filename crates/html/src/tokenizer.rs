@@ -8,6 +8,7 @@
 //! attribute values.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// A single HTML token.
@@ -186,6 +187,349 @@ fn parse_tag_body(body: &str) -> (String, BTreeMap<String, String>, bool) {
     (name, attributes, self_closing)
 }
 
+/// A borrowed HTML token, produced by the zero-copy streaming tokenizer
+/// [`Tokens`].
+///
+/// Where [`Token`] owns its strings, every string here is a [`Cow`]
+/// borrowing straight from the input document; the owned variant is only
+/// taken for the rare fix-ups the tokenizer performs (lower-casing a tag
+/// written in upper case, collapsing a whitespace run inside text).
+/// Attributes are not parsed at all until asked for: [`RawAttrs`] keeps the
+/// raw slice of the tag body and parses it lazily, so a consumer that only
+/// reads tag names and text never touches attribute syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamToken<'a> {
+    /// An opening (or self-closing) tag.
+    Open {
+        /// Lower-cased tag name (borrowed when already lower-case).
+        name: Cow<'a, str>,
+        /// The unparsed attribute portion of the tag body.
+        attributes: RawAttrs<'a>,
+        /// True for `<br/>`-style self-closing syntax or void elements.
+        self_closing: bool,
+    },
+    /// A closing tag.
+    Close {
+        /// Lower-cased tag name.
+        name: Cow<'a, str>,
+    },
+    /// A run of text between tags, whitespace-collapsed (borrowed when the
+    /// source was already collapsed).
+    Text(Cow<'a, str>),
+}
+
+impl StreamToken<'_> {
+    /// Convert to the owned [`Token`] representation. The result is exactly
+    /// what [`tokenize`] produces for the same input position — the
+    /// equivalence the property tests assert.
+    pub fn to_token(&self) -> Token {
+        match self {
+            StreamToken::Open {
+                name,
+                attributes,
+                self_closing,
+            } => Token::Open {
+                name: name.clone().into_owned(),
+                attributes: attributes
+                    .iter()
+                    .map(|(n, v)| (n.into_owned(), v.into_owned()))
+                    .collect(),
+                self_closing: *self_closing,
+            },
+            StreamToken::Close { name } => Token::Close {
+                name: name.clone().into_owned(),
+            },
+            StreamToken::Text(text) => Token::Text(text.clone().into_owned()),
+        }
+    }
+}
+
+/// The unparsed attribute section of an open tag, between the tag name and
+/// the closing `>`. Attribute syntax is only scanned when [`get`](Self::get)
+/// or [`iter`](Self::iter) is called, and both borrow names and values from
+/// the document (names are lower-cased through a [`Cow`] when needed).
+///
+/// Equality compares the raw underlying slice, not the parsed attribute
+/// map; two differently-written tags with the same attributes compare
+/// unequal here but equal after [`StreamToken::to_token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RawAttrs<'a> {
+    raw: &'a str,
+}
+
+impl<'a> RawAttrs<'a> {
+    /// The value of an attribute, if present. Duplicate attribute names
+    /// resolve to the last occurrence, matching the owned tokenizer's map
+    /// insertion order. Bare attributes (`disabled`) yield an empty value.
+    pub fn get(&self, name: &str) -> Option<Cow<'a, str>> {
+        let mut found = None;
+        for (attr_name, value) in self.iter() {
+            if attr_name == name {
+                found = Some(value);
+            }
+        }
+        found
+    }
+
+    /// Iterate `(name, value)` pairs in document order. Names are
+    /// lower-cased; values keep their case.
+    pub fn iter(&self) -> AttrIter<'a> {
+        AttrIter {
+            rest: self.raw.trim_start(),
+        }
+    }
+
+    /// True when the tag carried no attribute text at all.
+    pub fn is_empty(&self) -> bool {
+        self.raw.trim_start().is_empty()
+    }
+}
+
+/// Iterator over a tag's attributes; see [`RawAttrs::iter`].
+#[derive(Debug, Clone)]
+pub struct AttrIter<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for AttrIter<'a> {
+    type Item = (Cow<'a, str>, Cow<'a, str>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Mirrors the attribute loop of `parse_tag_body` exactly, borrowing
+        // instead of allocating.
+        loop {
+            if self.rest.is_empty() {
+                return None;
+            }
+            let name_len = self
+                .rest
+                .find(|c: char| c == '=' || c.is_whitespace())
+                .unwrap_or(self.rest.len());
+            let attr_name = self.rest[..name_len].trim();
+            self.rest = self.rest[name_len..].trim_start();
+            if attr_name.is_empty() {
+                // Defensive: skip a stray character to guarantee progress.
+                self.rest = &self.rest[self.rest.len().min(1)..];
+                continue;
+            }
+            let attr_name = lowercase_cow(attr_name);
+            if let Some(after_eq) = self.rest.strip_prefix('=') {
+                let after_eq = after_eq.trim_start();
+                let (value, remainder) = if let Some(q) = after_eq.strip_prefix('"') {
+                    match q.find('"') {
+                        Some(end) => (&q[..end], &q[end + 1..]),
+                        None => (q, ""),
+                    }
+                } else if let Some(q) = after_eq.strip_prefix('\'') {
+                    match q.find('\'') {
+                        Some(end) => (&q[..end], &q[end + 1..]),
+                        None => (q, ""),
+                    }
+                } else {
+                    let end = after_eq.find(char::is_whitespace).unwrap_or(after_eq.len());
+                    (&after_eq[..end], &after_eq[end..])
+                };
+                self.rest = remainder.trim_start();
+                return Some((attr_name, Cow::Borrowed(value)));
+            }
+            return Some((attr_name, Cow::Borrowed("")));
+        }
+    }
+}
+
+/// Lower-case a string, borrowing when it is already lower-case (the common
+/// case for real-world tag and attribute names).
+fn lowercase_cow(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// Collapse whitespace in a text run, borrowing when the trimmed slice is
+/// already collapsed (single spaces only). Returns `None` for
+/// whitespace-only runs, which produce no token.
+fn collapse_text(raw: &str) -> Option<Cow<'_, str>> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    let mut prev_space = false;
+    for c in trimmed.chars() {
+        if c == ' ' {
+            if prev_space {
+                return Some(Cow::Owned(
+                    trimmed.split_whitespace().collect::<Vec<_>>().join(" "),
+                ));
+            }
+            prev_space = true;
+        } else if c.is_whitespace() {
+            return Some(Cow::Owned(
+                trimmed.split_whitespace().collect::<Vec<_>>().join(" "),
+            ));
+        } else {
+            prev_space = false;
+        }
+    }
+    Some(Cow::Borrowed(trimmed))
+}
+
+/// Find the first case-insensitive `</name` in `haystack`, without building
+/// a lower-cased copy of the remainder (the owned tokenizer's approach).
+fn find_close_marker(haystack: &str, name: &str) -> Option<usize> {
+    let hb = haystack.as_bytes();
+    let nb = name.as_bytes();
+    let total = nb.len() + 2;
+    if hb.len() < total {
+        return None;
+    }
+    (0..=hb.len() - total).find(|&p| {
+        hb[p] == b'<' && hb[p + 1] == b'/' && hb[p + 2..p + 2 + nb.len()].eq_ignore_ascii_case(nb)
+    })
+}
+
+/// The zero-copy streaming tokenizer: an iterator over [`StreamToken`]s
+/// borrowing from the input document.
+///
+/// Token-for-token equivalent to [`tokenize`] (the owned implementation is
+/// retained as the oracle the property tests compare against), but performs
+/// no allocation for well-formed lower-case HTML: tag names, attribute
+/// values and already-collapsed text are handed out as borrowed slices, and
+/// attributes are not even parsed until a consumer asks for one.
+///
+/// ```
+/// use rws_html::tokenizer::{StreamToken, Tokens};
+///
+/// let mut names = Vec::new();
+/// for token in Tokens::new("<div class=\"nav\"><p>hi</p></div>") {
+///     if let StreamToken::Open { name, .. } = token {
+///         names.push(name.into_owned());
+///     }
+/// }
+/// assert_eq!(names, ["div", "p"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokens<'a> {
+    html: &'a str,
+    i: usize,
+    /// A `Close` token queued behind the `Open` of a raw-text element whose
+    /// skipped contents ended with a matching close tag.
+    pending_close: Option<Cow<'a, str>>,
+}
+
+impl<'a> Tokens<'a> {
+    /// Start streaming tokens from a document.
+    pub fn new(html: &'a str) -> Tokens<'a> {
+        Tokens {
+            html,
+            i: 0,
+            pending_close: None,
+        }
+    }
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = StreamToken<'a>;
+
+    fn next(&mut self) -> Option<StreamToken<'a>> {
+        if let Some(name) = self.pending_close.take() {
+            return Some(StreamToken::Close { name });
+        }
+        let html = self.html;
+        let bytes = html.as_bytes();
+        let len = bytes.len();
+        while self.i < len {
+            let i = self.i;
+            if bytes[i] == b'<' {
+                // Comment?
+                if html[i..].starts_with("<!--") {
+                    match html[i + 4..].find("-->") {
+                        Some(end) => self.i = i + 4 + end + 3,
+                        None => self.i = len,
+                    }
+                    continue;
+                }
+                // Doctype or other declaration?
+                if html[i..].starts_with("<!") || html[i..].starts_with("<?") {
+                    match html[i..].find('>') {
+                        Some(end) => self.i = i + end + 1,
+                        None => self.i = len,
+                    }
+                    continue;
+                }
+                // Find the end of the tag.
+                let Some(rel_end) = html[i..].find('>') else {
+                    // Unterminated tag: treat the rest as text.
+                    self.i = len;
+                    return collapse_text(&html[i..]).map(StreamToken::Text);
+                };
+                let tag_body = &html[i + 1..i + rel_end];
+                self.i = i + rel_end + 1;
+                if tag_body.is_empty() {
+                    continue;
+                }
+                if let Some(name) = tag_body.strip_prefix('/') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        continue;
+                    }
+                    return Some(StreamToken::Close {
+                        name: lowercase_cow(name),
+                    });
+                }
+                let body = tag_body.trim();
+                let (body, explicit_self_close) = match body.strip_suffix('/') {
+                    Some(rest) => (rest.trim(), true),
+                    None => (body, false),
+                };
+                let mut name_end = body.len();
+                for (idx, c) in body.char_indices() {
+                    if c.is_whitespace() {
+                        name_end = idx;
+                        break;
+                    }
+                }
+                if name_end == 0 {
+                    continue;
+                }
+                let name = lowercase_cow(&body[..name_end]);
+                let attributes = RawAttrs {
+                    raw: &body[name_end..],
+                };
+                let self_closing = explicit_self_close || VOID_ELEMENTS.contains(&name.as_ref());
+                let is_raw_text = RAW_TEXT_ELEMENTS.contains(&name.as_ref());
+                // Skip the raw content of <script>/<style> up to the
+                // matching closing tag, queueing the Close token.
+                if is_raw_text && !self_closing {
+                    match find_close_marker(&html[self.i..], name.as_ref()) {
+                        Some(rel) => {
+                            self.i += rel;
+                            if let Some(end) = html[self.i..].find('>') {
+                                self.pending_close = Some(name.clone());
+                                self.i += end + 1;
+                            }
+                        }
+                        // Unterminated raw-text element: consume to the end.
+                        None => self.i = len,
+                    }
+                }
+                return Some(StreamToken::Open {
+                    name,
+                    attributes,
+                    self_closing,
+                });
+            }
+            let next_tag = html[i..].find('<').map(|o| i + o).unwrap_or(len);
+            self.i = next_tag;
+            if let Some(text) = collapse_text(&html[i..next_tag]) {
+                return Some(StreamToken::Text(text));
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +642,70 @@ mod tests {
     fn empty_input_produces_no_tokens() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("   \n  ").is_empty());
+    }
+
+    /// The streaming tokenizer must agree with the owned oracle token for
+    /// token, including on the malformed inputs the oracle tolerates.
+    #[test]
+    fn streaming_matches_owned_oracle() {
+        for html in [
+            "<html><body><p>Hello</p></body></html>",
+            r#"<div class="nav main" id=content data-x='1' hidden>x</div>"#,
+            r#"<DIV CLASS="Big">x</DIV>"#,
+            r#"<img src="x.png"><br/><link rel="stylesheet">"#,
+            "<!DOCTYPE html><!-- a <b> comment --><p>text</p>",
+            r#"<script>var x = "<p>not a tag</p>";</script><style>.a{color:red}</style><p>real</p>"#,
+            "<p>  hello \n\t world  </p>",
+            "<div><p>unclosed",
+            "text only",
+            "<<>>",
+            "<div class=>broken</div>",
+            "<",
+            "<!-- unterminated comment",
+            "<script>never closed",
+            "<script>x</script",
+            "<SCRIPT>shout</SCRIPT>done",
+            "< /div>",
+            "<div a=1 a=2>dup</div>",
+            "",
+        ] {
+            let streamed: Vec<Token> = Tokens::new(html).map(|t| t.to_token()).collect();
+            assert_eq!(streamed, tokenize(html), "divergence on {html:?}");
+        }
+    }
+
+    /// Well-formed lower-case HTML streams entirely as borrowed slices.
+    #[test]
+    fn streaming_borrows_when_possible() {
+        let html = r#"<div class="nav">plain text</div>"#;
+        for token in Tokens::new(html) {
+            match token {
+                StreamToken::Open {
+                    name, attributes, ..
+                } => {
+                    assert!(matches!(name, Cow::Borrowed(_)));
+                    let class = attributes.get("class").unwrap();
+                    assert!(matches!(class, Cow::Borrowed(_)));
+                }
+                StreamToken::Close { name } => assert!(matches!(name, Cow::Borrowed(_))),
+                StreamToken::Text(text) => assert!(matches!(text, Cow::Borrowed(_))),
+            }
+        }
+    }
+
+    /// Lazily-parsed attributes answer lookups like the owned map: names
+    /// lower-cased, values as written, duplicates resolved to the last.
+    #[test]
+    fn raw_attrs_lookup_semantics() {
+        let html = r#"<div CLASS="Big" data-x=1 data-x=2 hidden>x</div>"#;
+        let Some(StreamToken::Open { attributes, .. }) = Tokens::new(html).next() else {
+            panic!("expected an open tag");
+        };
+        assert_eq!(attributes.get("class").unwrap(), "Big");
+        assert_eq!(attributes.get("data-x").unwrap(), "2");
+        assert_eq!(attributes.get("hidden").unwrap(), "");
+        assert_eq!(attributes.get("missing"), None);
+        assert!(!attributes.is_empty());
+        assert_eq!(attributes.iter().count(), 4);
     }
 }

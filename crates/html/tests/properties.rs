@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use rws_html::similarity::{html_similarity, SimilarityWeights};
-use rws_html::{class_set, jaccard, shingles, tag_sequence, tokenize};
+use rws_html::{class_set, jaccard, shingles, tag_sequence, tokenize, Token, Tokens};
 use std::collections::BTreeSet;
 
 /// Strategy producing small, nested, well-formed HTML snippets.
@@ -30,6 +30,22 @@ proptest! {
         let _ = tokenize(&input);
         let _ = tag_sequence(&input);
         let _ = class_set(&input);
+    }
+
+    /// The zero-copy streaming tokenizer reproduces the owned oracle token
+    /// for token on arbitrary (including malformed) input.
+    #[test]
+    fn streaming_tokenizer_equals_owned_on_arbitrary_input(input in ".{0,400}") {
+        let streamed: Vec<Token> = Tokens::new(&input).map(|t| t.to_token()).collect();
+        prop_assert_eq!(streamed, tokenize(&input));
+    }
+
+    /// Same equivalence on well-formed generated documents (tag soup with
+    /// classes and text), where the stream should also borrow throughout.
+    #[test]
+    fn streaming_tokenizer_equals_owned_on_html(a in html_strategy()) {
+        let streamed: Vec<Token> = Tokens::new(&a).map(|t| t.to_token()).collect();
+        prop_assert_eq!(streamed, tokenize(&a));
     }
 
     /// All similarity scores stay in [0, 1] and a document compared with

@@ -19,16 +19,33 @@
 //! (potentially expensive) function.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::RwLock;
 
 /// Number of independent shards (must be a power of two).
 pub const SHARD_COUNT: usize = 16;
 
-/// FNV-1a as a [`Hasher`], so shard assignment follows each key type's
-/// own `Hash` impl but stays platform-stable (unlike `DefaultHasher`,
-/// whose keys are randomized per process).
-struct FnvHasher(u64);
+/// FNV-1a as a [`Hasher`], so hashing follows each key type's own `Hash`
+/// impl but stays platform-stable (unlike `DefaultHasher`, whose keys are
+/// randomized per process) and an order of magnitude quicker than SipHash
+/// on short keys. The workspace's one FNV: shard assignment here, the
+/// classifier's keyword tables and the survey's pool fingerprints all use
+/// it rather than re-rolling the constants.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl FnvHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher::new()
+    }
+}
 
 impl Hasher for FnvHasher {
     fn finish(&self) -> u64 {
@@ -43,8 +60,21 @@ impl Hasher for FnvHasher {
     }
 }
 
+/// [`BuildHasher`] handing out [`FnvHasher`]s, for `HashMap`s keyed by
+/// trusted short strings where SipHash's DoS resistance buys nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::new()
+    }
+}
+
 fn shard_index<K: Hash>(key: &K) -> usize {
-    let mut hasher = FnvHasher(0xcbf2_9ce4_8422_2325);
+    let mut hasher = FnvHasher::new();
     key.hash(&mut hasher);
     (hasher.finish() as usize) & (SHARD_COUNT - 1)
 }

@@ -38,10 +38,12 @@ use rws_classify::CategoryDatabase;
 use rws_corpus::{Corpus, SiteCategory, SiteRole};
 use rws_domain::DomainName;
 use rws_engine::EngineContext;
+use rws_stats::memo::{FnvHasher, ShardedMemo};
 use rws_stats::rng::Rng;
 use rws_stats::sampling::sample_without_replacement;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Which of the four groups a pair belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -325,22 +327,20 @@ impl<'a> PairGenerator<'a> {
     /// `sclone<k>.<member>`, which are never on the RWS list and therefore
     /// unrelated to everything — exactly the shape of a survey universe
     /// drawn from a far larger filtered pool).
+    ///
+    /// Scaled pools are interned process-wide per (base pool, multiplier):
+    /// the synthetic variants are parsed once and every later `generate`
+    /// call at the same scale clones the interned pool — `DomainName` is
+    /// `Arc<str>`-backed, so the clone is one refcount bump per member
+    /// rather than a fresh parse and allocation.
     pub fn scaled_members(&self) -> Vec<DomainName> {
         let base = self.eligible_members();
         if self.member_multiplier <= 1 {
             return base;
         }
-        let mut members: Vec<DomainName> = Vec::with_capacity(base.len() * self.member_multiplier);
-        members.extend(base.iter().cloned());
-        for k in 1..self.member_multiplier {
-            for member in &base {
-                members.push(
-                    DomainName::parse(&format!("sclone{k}.{member}"))
-                        .expect("member with a prepended label is a valid domain"),
-                );
-            }
-        }
-        members
+        interned_scaled_pool(&base, self.member_multiplier)
+            .as_ref()
+            .clone()
     }
 
     /// Generate the full pair universe (indexed membership, sequential).
@@ -525,6 +525,59 @@ impl<'a> PairGenerator<'a> {
     }
 }
 
+/// Most distinct (base pool, multiplier) combinations the intern table
+/// retains. Real workloads cycle through a handful of scales over one or
+/// two corpora; the cap stops a pathological caller (say, a property test
+/// sweeping corpus seeds at scale) from growing process memory without
+/// bound — beyond it, pools are built uncached, exactly as before the
+/// intern table existed.
+const MAX_INTERNED_POOLS: usize = 64;
+
+/// The process-wide intern table for scaled member pools, keyed by a
+/// fingerprint of the base pool plus the multiplier. First writer wins, so
+/// concurrent generators at the same scale agree on one pool.
+fn interned_scaled_pool(base: &[DomainName], multiplier: usize) -> Arc<Vec<DomainName>> {
+    /// (base-pool fingerprint, base-pool length, multiplier) → interned pool.
+    type PoolKey = (u64, usize, usize);
+    static POOLS: OnceLock<ShardedMemo<PoolKey, Arc<Vec<DomainName>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(ShardedMemo::new);
+    let key = (fingerprint(base), base.len(), multiplier);
+    if let Some(pool) = pools.get(&key) {
+        return pool;
+    }
+    let pool = Arc::new(build_scaled_pool(base, multiplier));
+    if pools.len() >= MAX_INTERNED_POOLS {
+        return pool;
+    }
+    pools.insert(key, pool)
+}
+
+fn build_scaled_pool(base: &[DomainName], multiplier: usize) -> Vec<DomainName> {
+    let mut members: Vec<DomainName> = Vec::with_capacity(base.len() * multiplier);
+    members.extend(base.iter().cloned());
+    for k in 1..multiplier {
+        for member in base {
+            members.push(
+                DomainName::parse(&format!("sclone{k}.{member}"))
+                    .expect("member with a prepended label is a valid domain"),
+            );
+        }
+    }
+    members
+}
+
+/// FNV-1a over the base pool's domains (with a separator byte), identifying
+/// the corpus's eligible-member pool in the intern table.
+fn fingerprint(members: &[DomainName]) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = FnvHasher::new();
+    for member in members {
+        hasher.write(member.as_str().as_bytes());
+        hasher.write_u8(0);
+    }
+    hasher.finish()
+}
+
 /// Linear scan for a member's position — the naive generator's lookup, also
 /// used by the (cold) group-1 loop.
 fn member_position(members: &[DomainName], domain: &DomainName) -> Option<u32> {
@@ -654,6 +707,30 @@ mod tests {
                 assert_ne!(pair.first, pair.second);
             }
         }
+    }
+
+    #[test]
+    fn scaled_member_pool_is_interned_per_scale() {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(23)).generate();
+        let categories = CategoryDatabase::from_ground_truth(&corpus);
+        let generator = PairGenerator::with_scale(&corpus, &categories, SurveyScale::times(3));
+        let first = generator.scaled_members();
+        let second = generator.scaled_members();
+        assert_eq!(first, second);
+        let base_len = generator.eligible_members().len();
+        assert_eq!(first.len(), base_len * 3);
+        // The synthetic variants come out of the intern table: the second
+        // call's domains share the first call's string allocations
+        // (`DomainName` is `Arc<str>`-backed) instead of re-parsing.
+        for (a, b) in first.iter().zip(&second).skip(base_len) {
+            assert!(
+                std::ptr::eq(a.as_str(), b.as_str()),
+                "synthetic variant {a} was re-parsed instead of interned"
+            );
+        }
+        // A different multiplier is a different pool.
+        let bigger = PairGenerator::with_scale(&corpus, &categories, SurveyScale::times(4));
+        assert_eq!(bigger.scaled_members().len(), base_len * 4);
     }
 
     #[test]
