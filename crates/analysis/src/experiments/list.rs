@@ -95,13 +95,14 @@ impl Figure4 {
     /// The three similarity samples (style, structural, joint) over every
     /// service/associated member paired with its primary.
     ///
-    /// Each distinct document is fetched, tokenized and shingled exactly
-    /// once (in parallel) into a [`DocumentProfile`]; the pairwise phase
-    /// then only compares precomputed hash sets. Primaries appear in many
-    /// pairs, so the reuse is substantial on top of the per-pair speedup.
-    /// The profiling sweep runs with recycled per-worker scratch buffers
-    /// (`par_map_with`), so tag/class accumulators are allocated once per
-    /// worker instead of once per document.
+    /// Each distinct document is tokenized and shingled exactly once (in
+    /// parallel) into a [`DocumentProfile`]; the pairwise phase then only
+    /// compares precomputed hash sets. Primaries appear in many pairs, so
+    /// the reuse is substantial on top of the per-pair speedup. The
+    /// profiling sweep runs with recycled per-worker scratch buffers
+    /// (`par_map_with`) over pages *borrowed* from the corpus's frozen
+    /// store (`Corpus::with_html`), so neither the tag/class accumulators
+    /// nor the page text are allocated per document.
     pub fn similarities(scenario: &Scenario) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let weights = SimilarityWeights::default();
         let pairs: Vec<(DomainName, DomainName, MemberRole)> = scenario
@@ -127,10 +128,11 @@ impl Figure4 {
             ProfileScratch::default(),
             &distinct,
             |scratch, _, domain| {
-                scenario
-                    .corpus
-                    .html_of(domain)
-                    .map(|html| DocumentProfile::with_scratch(&html, weights, scratch))
+                // Borrowed straight out of the frozen page store: the whole
+                // profiling sweep runs without copying a single page.
+                scenario.corpus.with_html(domain, |html| {
+                    DocumentProfile::with_scratch(html, weights, scratch)
+                })
             },
         );
         let profile_of = |domain: &DomainName| profiles[seen[domain]].as_ref();

@@ -201,6 +201,43 @@ fn bench_psl_trie_vs_linear(c: &mut Criterion) {
     group.finish();
 }
 
+/// Front-page access out of the frozen store: the owned `html_of` clone
+/// (the pre-frozen-store cost every classification task paid) against the
+/// borrowed `with_html` view.
+fn bench_page_access_borrowed_vs_cloned(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let domains: Vec<_> = scenario
+        .corpus
+        .sites
+        .values()
+        .filter(|s| s.live)
+        .map(|s| s.domain.clone())
+        .take(64)
+        .collect();
+    let mut group = c.benchmark_group("micro_page_access");
+    group.bench_function("cloned_html_of", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for domain in &domains {
+                if let Some(html) = scenario.corpus.html_of(domain) {
+                    total += html.len();
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("borrowed_with_html", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for domain in &domains {
+                total += scenario.corpus.with_html(domain, str::len).unwrap_or(0);
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
 fn bench_ks_test(c: &mut Criterion) {
     let mut rng = Xoshiro256StarStar::new(7);
     let a: Vec<f64> = (0..500).map(|_| rng.gaussian(30.0, 8.0)).collect();
@@ -236,6 +273,7 @@ criterion_group!(
     bench_levenshtein_naive_vs_bounded,
     bench_html_naive_vs_profiles,
     bench_psl_trie_vs_linear,
+    bench_page_access_borrowed_vs_cloned,
     bench_list_lookup,
     bench_ks_test,
     bench_scenario_generation

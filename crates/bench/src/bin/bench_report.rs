@@ -399,6 +399,92 @@ fn main() {
         json!(classify_naive_ns / classify_automaton_ns),
     );
 
+    // --- frozen page store: borrowed vs cloned page access -----------------
+    // The same front-page read every classification task and similarity
+    // sweep performs: `html_of` clones the page into a fresh String (the
+    // pre-PR-5 cost), `with_html` borrows it straight out of the frozen
+    // store.
+    let page_domains: Vec<DomainName> = scenario
+        .corpus
+        .sites
+        .values()
+        .filter(|s| s.live)
+        .map(|s| s.domain.clone())
+        .take(256)
+        .collect();
+    assert!(
+        page_domains.len() >= 64,
+        "page-access bench needs a domain sample"
+    );
+    let access_cloned_ns = measure(|| {
+        let mut total = 0usize;
+        for domain in &page_domains {
+            if let Some(html) = scenario.corpus.html_of(domain) {
+                // black_box defeats allocation elision: the String copy
+                // must actually be materialised, as it was on the seed's
+                // classification path.
+                total += black_box(html).len();
+            }
+        }
+        black_box(total);
+    });
+    let access_borrowed_ns = measure(|| {
+        let mut total = 0usize;
+        for domain in &page_domains {
+            total += scenario
+                .corpus
+                .with_html(domain, |html| black_box(html).len())
+                .unwrap_or(0);
+        }
+        black_box(total);
+    });
+    kernels.insert("page_access_cloned".into(), json!(access_cloned_ns));
+    kernels.insert("page_access_borrowed".into(), json!(access_borrowed_ns));
+    speedups.insert(
+        "page_access_borrowed_vs_cloned".into(),
+        json!(access_cloned_ns / access_borrowed_ns),
+    );
+
+    // --- frozen vs locked read throughput under the pool -------------------
+    // Full `serve` calls fanned out on the engine pool: the frozen store
+    // walks an Arc-shared map with no lock, the locked twin (the same
+    // hosts re-registered in a mutable web's overlay) takes the RwLock
+    // read guard on every hit. On a single-core host both degrade to the
+    // inline loop; the frozen path still wins by skipping the guard.
+    let frozen_store = scenario.corpus.frozen.clone();
+    let locked_twin = {
+        let mut web = rws_net::SimulatedWeb::new();
+        for domain in frozen_store.hosts() {
+            if let Some(host) = frozen_store.host(&domain) {
+                web.register(host.clone());
+            }
+        }
+        web
+    };
+    let read_urls: Vec<rws_net::Url> = page_domains
+        .iter()
+        .map(|d| rws_net::Url::https(d, "/"))
+        .collect();
+    let served_len = |served: rws_net::ServedPage| match served {
+        rws_net::ServedPage::Content { content, .. } => {
+            content.body().map(|b| b.len()).unwrap_or(0)
+        }
+        _ => 0,
+    };
+    let read_ctx = EngineContext::new();
+    let frozen_read_ns = measure(|| {
+        black_box(read_ctx.par_map(&read_urls, |_, url| served_len(frozen_store.serve(url))));
+    });
+    let locked_read_ns = measure(|| {
+        black_box(read_ctx.par_map(&read_urls, |_, url| served_len(locked_twin.serve(url))));
+    });
+    kernels.insert("frozen_read_pooled".into(), json!(frozen_read_ns));
+    kernels.insert("locked_read_pooled".into(), json!(locked_read_ns));
+    speedups.insert(
+        "frozen_vs_locked_read_pooled".into(),
+        json!(locked_read_ns / frozen_read_ns),
+    );
+
     // --- classify_corpus: pooled vs sequential, paper and scaled corpora ---
     // One pool task per site over the whole corpus (the survey chain's
     // first stage). As with every pooled-vs-sequential kernel, a
@@ -430,6 +516,31 @@ fn main() {
         speedups.insert(
             format!("classify_corpus_pooled_vs_sequential_{label}"),
             json!(sequential_ns / pooled_ns),
+        );
+    }
+
+    // --- zero-copy classify_corpus vs the owned-copy oracle ----------------
+    // Both sequential, so the ratio isolates the per-task page copy the
+    // frozen store removed (the last allocation on the classification hot
+    // path) from any pool effect.
+    for (label, corpus) in [("paper", &scenario.corpus), ("scaled", &scaled_corpus)] {
+        let borrowed_ns = measure(|| {
+            black_box(CategoryDatabase::classify_corpus(corpus));
+        });
+        let cloning_ns = measure(|| {
+            black_box(CategoryDatabase::classify_corpus_cloning(corpus));
+        });
+        kernels.insert(
+            format!("classify_corpus_borrowed_{label}"),
+            json!(borrowed_ns),
+        );
+        kernels.insert(
+            format!("classify_corpus_cloning_{label}"),
+            json!(cloning_ns),
+        );
+        speedups.insert(
+            format!("classify_corpus_borrowed_vs_cloning_{label}"),
+            json!(cloning_ns / borrowed_ns),
         );
     }
 

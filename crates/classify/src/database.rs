@@ -43,6 +43,10 @@ impl CategoryDatabase {
     /// field-for-field identical to the sequential build whether the
     /// context is pooled or sequential — the equivalence the classify
     /// property tests assert.
+    ///
+    /// Each task streams its page *borrowed* out of the corpus's frozen
+    /// store straight into the keyword automaton: no lock is taken and no
+    /// page `String` is cloned anywhere on the pooled path.
     pub fn classify_corpus_on(corpus: &Corpus, ctx: &EngineContext) -> CategoryDatabase {
         let classifier = KeywordClassifier::new();
         let sites: Vec<&SiteSpec> = corpus.sites.values().collect();
@@ -50,6 +54,27 @@ impl CategoryDatabase {
             ctx.par_map(&sites, |_, spec| site_category(&classifier, corpus, spec));
         let mut db = CategoryDatabase::new();
         for (spec, category) in sites.into_iter().zip(categories) {
+            db.insert(spec.domain.clone(), category);
+        }
+        db
+    }
+
+    /// The pre-frozen-store build, retained as the equivalence oracle: one
+    /// owned `String` copy of every page via [`Corpus::html_of`], exactly
+    /// what the classification path paid per task before the zero-copy
+    /// refactor. Property tests pin the borrowed builds to this.
+    pub fn classify_corpus_cloning(corpus: &Corpus) -> CategoryDatabase {
+        let classifier = KeywordClassifier::new();
+        let mut db = CategoryDatabase::new();
+        for spec in corpus.sites.values() {
+            let category = if spec.live {
+                match corpus.html_of(&spec.domain) {
+                    Some(html) => classifier.classify(&spec.domain, &html),
+                    None => SiteCategory::Unknown,
+                }
+            } else {
+                SiteCategory::Unknown
+            };
             db.insert(spec.domain.clone(), category);
         }
         db
@@ -131,15 +156,15 @@ impl CategoryDatabase {
 
 /// The category of one site: the classifier's verdict on its front page
 /// when it is live, [`SiteCategory::Unknown`] otherwise — the per-site
-/// function both corpus builds share.
+/// function both corpus builds share. The page is borrowed from the frozen
+/// store and streamed straight into the automaton: zero copies per site.
 fn site_category(classifier: &KeywordClassifier, corpus: &Corpus, spec: &SiteSpec) -> SiteCategory {
     if !spec.live {
         return SiteCategory::Unknown;
     }
-    match corpus.html_of(&spec.domain) {
-        Some(html) => classifier.classify(&spec.domain, &html),
-        None => SiteCategory::Unknown,
-    }
+    corpus
+        .with_html(&spec.domain, |html| classifier.classify(&spec.domain, html))
+        .unwrap_or(SiteCategory::Unknown)
 }
 
 #[cfg(test)]
@@ -210,5 +235,14 @@ mod tests {
         let inline = CategoryDatabase::classify_corpus_on(&corpus, &ctx.sequential_twin());
         assert_eq!(pooled, sequential);
         assert_eq!(inline, sequential);
+    }
+
+    #[test]
+    fn borrowed_builds_match_the_cloning_oracle() {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(13)).generate();
+        let borrowed = CategoryDatabase::classify_corpus(&corpus);
+        let cloning = CategoryDatabase::classify_corpus_cloning(&corpus);
+        assert_eq!(borrowed, cloning);
+        assert_eq!(cloning.len(), corpus.sites.len());
     }
 }

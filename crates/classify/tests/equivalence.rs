@@ -67,8 +67,10 @@ proptest! {
     }
 
     /// Pooled `classify_corpus_on` ≡ sequential `classify_corpus` across
-    /// corpus seeds — and the per-site streaming/naive agreement holds over
-    /// every live page of those corpora.
+    /// corpus seeds — and both, now running on borrowed views out of the
+    /// frozen page store, ≡ `classify_corpus_cloning`, the retained PR-4
+    /// owned-copy build (one `html_of` String per site). The per-site
+    /// streaming/naive agreement holds over every live page too.
     #[test]
     fn corpus_classification_parallel_equivalence(seed in 0u64..1_000_000) {
         let corpus = CorpusGenerator::new(CorpusConfig::small(seed % 61)).generate();
@@ -76,8 +78,10 @@ proptest! {
         let ctx = EngineContext::new();
         let pooled = CategoryDatabase::classify_corpus_on(&corpus, &ctx);
         let inline = CategoryDatabase::classify_corpus_on(&corpus, &ctx.sequential_twin());
+        let cloning = CategoryDatabase::classify_corpus_cloning(&corpus);
         prop_assert_eq!(&pooled, &sequential);
         prop_assert_eq!(&inline, &sequential);
+        prop_assert_eq!(&cloning, &sequential, "borrowed views diverge from the owned-copy oracle");
 
         let classifier = KeywordClassifier::new();
         for spec in corpus.sites.values().filter(|s| s.live).take(40) {
@@ -93,7 +97,9 @@ proptest! {
 
 /// Same equivalence on a pool with exactly three workers (plus the helping
 /// caller), independent of the host's core count — the same forced-pool
-/// gate the survey subsystem carries.
+/// gate the survey subsystem carries. The pooled build reads borrowed
+/// views out of the frozen store from four threads at once and must still
+/// match both the sequential build and the owned-copy oracle.
 #[test]
 fn corpus_classification_on_forced_three_worker_pool() {
     let pool = ThreadPool::new(3);
@@ -103,6 +109,11 @@ fn corpus_classification_on_forced_three_worker_pool() {
         let corpus = CorpusGenerator::new(CorpusConfig::small(seed)).generate();
         let pooled = CategoryDatabase::classify_corpus_on(&corpus, &ctx);
         let sequential = CategoryDatabase::classify_corpus(&corpus);
+        let cloning = CategoryDatabase::classify_corpus_cloning(&corpus);
         assert_eq!(pooled, sequential, "divergence at corpus seed {seed}");
+        assert_eq!(
+            pooled, cloning,
+            "borrowed/owned divergence at corpus seed {seed}"
+        );
     }
 }

@@ -23,7 +23,7 @@ use crate::tranco::TrancoList;
 use rws_domain::DomainName;
 use rws_engine::EngineContext;
 use rws_model::{RwsList, RwsSet, WellKnownFile};
-use rws_net::{SimulatedWeb, SiteHost, WELL_KNOWN_RWS_PATH};
+use rws_net::{FrozenWeb, SimulatedWeb, SiteHost, WELL_KNOWN_RWS_PATH};
 use rws_stats::rng::{Rng, Xoshiro256StarStar};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
@@ -123,7 +123,15 @@ pub struct Corpus {
     /// The Tranco-style top-site ranking (non-RWS sites only).
     pub tranco: TrancoList,
     /// The simulated web holding every site's pages and well-known files.
+    /// Frozen by construction: generation registers every host and then
+    /// freezes, so later writes (the governance replay's defect hosts) land
+    /// in an overlay without disturbing the snapshot below.
     pub web: SimulatedWeb,
+    /// The frozen page store: the immutable snapshot `web` was frozen into
+    /// at the end of generation. Reads take no lock and borrow straight
+    /// from the interned pages — the classifier, the Figure 4 sweeps and
+    /// the benches all read through here.
+    pub frozen: FrozenWeb,
 }
 
 impl Corpus {
@@ -132,14 +140,30 @@ impl Corpus {
         self.sites.get(domain)
     }
 
-    /// The front-page HTML of a site, if it exists.
+    /// The front-page HTML of a site, borrowed from the frozen store —
+    /// the zero-copy read every hot path uses. No lock is taken.
+    ///
+    /// This (like [`with_html`](Corpus::with_html) and
+    /// [`html_of`](Corpus::html_of)) reads the generation-time snapshot:
+    /// post-generation overlay writes to `web` (defect hosts, `update_host`
+    /// edits) are deliberately *not* visible here — route reads that must
+    /// observe live mutations through `web.serve`/`web.with_host`.
+    pub fn page_html(&self, domain: &DomainName) -> Option<&str> {
+        self.frozen.page_html(domain, "/")
+    }
+
+    /// Run a closure over the borrowed front-page HTML of a site, if it
+    /// exists — convenience over [`page_html`](Corpus::page_html) for call
+    /// sites that fold the page into a result (classification, profiling).
+    pub fn with_html<T>(&self, domain: &DomainName, f: impl FnOnce(&str) -> T) -> Option<T> {
+        self.page_html(domain).map(f)
+    }
+
+    /// The front-page HTML of a site as an owned copy. Compatibility
+    /// wrapper over the borrowed view — and the oracle the zero-copy
+    /// equivalence tests compare [`with_html`](Corpus::with_html) against.
     pub fn html_of(&self, domain: &DomainName) -> Option<String> {
-        self.web.with_host(domain, |host| {
-            host.page("/").and_then(|content| match content {
-                rws_net::PageContent::Html(html) => Some(html.clone()),
-                _ => None,
-            })
-        })?
+        self.page_html(domain).map(str::to_string)
     }
 
     /// All sites that are members of RWS sets.
@@ -479,6 +503,11 @@ impl CorpusGenerator {
         for host in hosts {
             web.register(host);
         }
+        // Build phase over: freeze the page store. Every page body was
+        // interned exactly once above; from here on the corpus is a
+        // read-mostly snapshot (lock-free borrows), and anything the
+        // governance replay registers later lives in the web's overlay.
+        let frozen = web.freeze();
 
         Corpus {
             config: cfg,
@@ -487,6 +516,7 @@ impl CorpusGenerator {
             list,
             tranco,
             web,
+            frozen,
         }
     }
 
@@ -681,6 +711,44 @@ mod tests {
         let html = c.html_of(&spec.domain).unwrap();
         assert!(html.contains(&spec.brand.name));
         assert!(c.category_of(&spec.domain).is_some());
+    }
+
+    #[test]
+    fn borrowed_views_match_the_owned_compatibility_wrapper() {
+        let c = corpus();
+        for domain in c.sites.keys() {
+            assert_eq!(
+                c.with_html(domain, str::to_string),
+                c.html_of(domain),
+                "with_html/html_of divergence on {domain}"
+            );
+            assert_eq!(c.page_html(domain).map(str::to_string), c.html_of(domain));
+        }
+    }
+
+    #[test]
+    fn corpus_web_is_frozen_by_construction() {
+        let c = corpus();
+        // Every generated host lives in the frozen snapshot, and the web
+        // serves identically through its frozen base.
+        assert_eq!(c.frozen.host_count(), c.web.host_count());
+        for domain in c.sites.keys() {
+            assert!(c.frozen.has_host(domain));
+            let url = rws_net::Url::https(domain, "/");
+            assert_eq!(c.frozen.serve(&url), c.web.serve(&url));
+        }
+        // The served body is a refcount bump of the interned page, not a
+        // copy.
+        let live = c.sites.values().find(|s| s.live).unwrap();
+        let url = rws_net::Url::https(&live.domain, "/");
+        let interned = c.frozen.page_body(&live.domain, "/").unwrap().bytes();
+        match c.web.serve(&url) {
+            rws_net::ServedPage::Content { content, .. } => {
+                let body = content.body().unwrap();
+                assert_eq!(body.as_bytes().as_ptr(), interned.as_ptr());
+            }
+            other => panic!("expected content, got {other:?}"),
+        }
     }
 
     #[test]

@@ -130,6 +130,7 @@ impl Fetcher {
             });
 
             let served = self.web.serve(&current);
+            // `body` is a refcount bump of the interned page, never a copy.
             let (status, mut headers, body, latency) = match served {
                 ServedPage::NoSuchHost => {
                     return Err(NetError::HostNotFound {
@@ -149,50 +150,55 @@ impl Fetcher {
                 ServedPage::Missing { latency } => (
                     StatusCode::NOT_FOUND,
                     HeaderMap::new(),
-                    String::new(),
+                    Bytes::new(),
                     latency.latency_for(0),
                 ),
                 ServedPage::Content {
                     content,
                     extra_headers,
                     latency,
-                } => match content {
-                    PageContent::Html(html) => {
-                        let lat = latency.latency_for(html.len());
-                        let mut h = extra_headers;
-                        h.set("Content-Type", "text/html; charset=utf-8");
-                        (StatusCode::OK, h, html, lat)
+                } => {
+                    // The response mutates its headers (Content-Type,
+                    // Location), so materialise a copy only when the path
+                    // actually registered extra headers — the shared handle
+                    // itself was never cloned by `serve`.
+                    let mut h = extra_headers
+                        .map(|shared| HeaderMap::clone(&shared))
+                        .unwrap_or_default();
+                    match content {
+                        PageContent::Html(html) => {
+                            let lat = latency.latency_for(html.len());
+                            h.set("Content-Type", "text/html; charset=utf-8");
+                            (StatusCode::OK, h, html.bytes(), lat)
+                        }
+                        PageContent::Json(json) => {
+                            let lat = latency.latency_for(json.len());
+                            h.set("Content-Type", "application/json");
+                            (StatusCode::OK, h, json.bytes(), lat)
+                        }
+                        PageContent::Text(text) => {
+                            let lat = latency.latency_for(text.len());
+                            h.set("Content-Type", "text/plain; charset=utf-8");
+                            (StatusCode::OK, h, text.bytes(), lat)
+                        }
+                        PageContent::Redirect {
+                            location,
+                            permanent,
+                        } => {
+                            let status = if permanent {
+                                StatusCode::MOVED_PERMANENTLY
+                            } else {
+                                StatusCode::FOUND
+                            };
+                            h.set("Location", location.clone());
+                            (status, h, Bytes::new(), latency.latency_for(0))
+                        }
+                        PageContent::Error { status, body } => {
+                            let lat = latency.latency_for(body.len());
+                            (status, h, body.bytes(), lat)
+                        }
                     }
-                    PageContent::Json(json) => {
-                        let lat = latency.latency_for(json.len());
-                        let mut h = extra_headers;
-                        h.set("Content-Type", "application/json");
-                        (StatusCode::OK, h, json, lat)
-                    }
-                    PageContent::Text(text) => {
-                        let lat = latency.latency_for(text.len());
-                        let mut h = extra_headers;
-                        h.set("Content-Type", "text/plain; charset=utf-8");
-                        (StatusCode::OK, h, text, lat)
-                    }
-                    PageContent::Redirect {
-                        location,
-                        permanent,
-                    } => {
-                        let status = if permanent {
-                            StatusCode::MOVED_PERMANENTLY
-                        } else {
-                            StatusCode::FOUND
-                        };
-                        let mut h = extra_headers;
-                        h.set("Location", location.clone());
-                        (status, h, String::new(), latency.latency_for(0))
-                    }
-                    PageContent::Error { status, body } => {
-                        let lat = latency.latency_for(body.len());
-                        (status, extra_headers, body, lat)
-                    }
-                },
+                }
             };
 
             total_latency += latency;
@@ -217,14 +223,15 @@ impl Fetcher {
                 continue;
             }
 
+            // HEAD advertises the length GET would have returned (the body
+            // itself is dropped) — the interned body makes that length
+            // available without having materialised a copy.
             let body_bytes = if method == Method::Head {
+                headers.set("Content-Length", body.len().to_string());
                 Bytes::new()
             } else {
-                Bytes::from(body)
+                body
             };
-            if method == Method::Head {
-                headers.set("Content-Length", body_bytes.len().to_string());
-            }
             return Ok(Response {
                 url: current,
                 status,
@@ -265,7 +272,7 @@ mod tests {
             "/gone",
             PageContent::Error {
                 status: StatusCode::GONE,
-                body: "gone".to_string(),
+                body: "gone".into(),
             },
         );
         web.register(host);
@@ -356,6 +363,16 @@ mod tests {
         assert!(resp.status.is_success());
         assert!(resp.body.is_empty());
         assert!(resp.headers.contains("content-type"));
+        // HEAD reports the length GET would have served, not 0.
+        assert_eq!(
+            resp.headers.get("content-length"),
+            Some(
+                "<html><body>home page</body></html>"
+                    .len()
+                    .to_string()
+                    .as_str()
+            )
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`Request`]/[`Response`]/[`HeaderMap`]/[`StatusCode`] — an HTTP message
 //!   model sufficient for header- and status-level validation;
 //! * [`SimulatedWeb`] — a registry mapping hosts to [`SiteHost`]s with
-//!   routable paths, redirects, latency and failure injection;
+//!   routable paths, redirects, latency and failure injection; page bodies
+//!   are interned ([`PageBody`]) and [`SimulatedWeb::freeze`] snapshots the
+//!   registry into a lock-free, borrow-friendly [`FrozenWeb`];
 //! * [`Fetcher`] — a client with redirect following, HTTPS enforcement and
 //!   a request log, which is what the validation bot and corpus crawler use.
 //!
@@ -47,5 +49,5 @@ pub use fetcher::{FetchPolicy, Fetcher};
 pub use headers::HeaderMap;
 pub use message::{Method, Request, Response, StatusCode};
 pub use url::Url;
-pub use web::{LatencyModel, PageContent, SimulatedWeb, SiteHost};
+pub use web::{FrozenWeb, LatencyModel, PageBody, PageContent, ServedPage, SimulatedWeb, SiteHost};
 pub use well_known::{well_known_path, WELL_KNOWN_RWS_PATH, X_ROBOTS_TAG};

@@ -121,9 +121,21 @@ pub struct Response {
 }
 
 impl Response {
-    /// The body decoded as UTF-8 (lossily).
+    /// The body borrowed as UTF-8 text, when it is valid UTF-8 — the
+    /// zero-allocation fast path. Every page the simulated web serves is
+    /// interned from Rust strings, so this only returns `None` for
+    /// hand-built binary bodies.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The body decoded as UTF-8 (lossily). Allocates; prefer
+    /// [`body_str`](Response::body_str) where a borrow suffices.
     pub fn body_text(&self) -> String {
-        String::from_utf8_lossy(&self.body).into_owned()
+        match self.body_str() {
+            Some(text) => text.to_string(),
+            None => String::from_utf8_lossy(&self.body).into_owned(),
+        }
     }
 
     /// Parse the body as JSON.
@@ -183,8 +195,24 @@ mod tests {
         };
         assert_eq!(resp.content_type(), Some("application/json"));
         assert!(resp.body_text().contains("primary"));
+        assert_eq!(resp.body_str(), Some(resp.body_text().as_str()));
         let json = resp.body_json().unwrap();
         assert_eq!(json["primary"], "example.com");
+    }
+
+    #[test]
+    fn body_str_rejects_invalid_utf8_but_body_text_is_lossy() {
+        let url = Url::parse("https://example.com/bin").unwrap();
+        let resp = Response {
+            url,
+            status: StatusCode::OK,
+            headers: HeaderMap::new(),
+            body: Bytes::from_static(b"ok \xFF"),
+            latency_ms: 0,
+            redirects_followed: 0,
+        };
+        assert_eq!(resp.body_str(), None);
+        assert_eq!(resp.body_text(), "ok \u{FFFD}");
     }
 
     #[test]

@@ -6,24 +6,144 @@
 //! statuses), a per-host latency model, optional outage and HTTP-only
 //! flags, and per-path extra headers (e.g. `X-Robots-Tag: noindex` on
 //! service sites).
+//!
+//! # The frozen page store
+//!
+//! The corpus is write-once, read-hundreds-of-times: every page is rendered
+//! exactly once during generation and then re-read by the classifier, the
+//! Figure 4 similarity sweeps, the validation bot and the benches. The
+//! storage layer therefore follows the standard read-mostly-snapshot
+//! design:
+//!
+//! * page bodies are interned as [`PageBody`] — an immutable, UTF-8,
+//!   refcounted buffer — at registration time, so *no* later layer ever
+//!   copies a body (serving bumps a refcount, reading borrows `&str`);
+//! * [`SimulatedWeb::freeze`] snapshots the host table into a
+//!   [`FrozenWeb`]: an `Arc`-shared immutable map with **no lock on the
+//!   read path**, whose accessors hand out real borrows
+//!   ([`FrozenWeb::page_html`]) rather than guard-bounded views;
+//! * the `SimulatedWeb` itself becomes a thin mutable *overlay* above its
+//!   frozen base: post-freeze registrations (the governance replay's defect
+//!   hosts) and copy-on-write [`update_host`](SimulatedWeb::update_host)
+//!   mutations land in the overlay, while the frozen snapshot — and every
+//!   borrowed view taken from it — stays valid and unchanged.
 
 use crate::headers::HeaderMap;
 use crate::message::StatusCode;
 use crate::url::Url;
+use bytes::Bytes;
 use parking_lot::RwLock;
 use rws_domain::DomainName;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
-/// What a host serves at a particular path.
+/// An interned, immutable page body: UTF-8 text backed by a refcounted
+/// [`Bytes`] buffer. Cloning is O(1); [`as_str`](PageBody::as_str) borrows
+/// and [`bytes`](PageBody::bytes) shares the buffer with a `Response`
+/// without copying.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct PageBody {
+    bytes: Bytes,
+}
+
+impl PageBody {
+    /// Intern a body. The single copy of the page's lifetime happens here.
+    pub fn new<S: Into<String>>(text: S) -> PageBody {
+        PageBody {
+            bytes: Bytes::from(text.into()),
+        }
+    }
+
+    /// Borrow the body as text.
+    pub fn as_str(&self) -> &str {
+        // Safety: every constructor takes `str`/`String`, so the buffer is
+        // valid UTF-8 by construction.
+        unsafe { std::str::from_utf8_unchecked(&self.bytes) }
+    }
+
+    /// Borrow the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Share the underlying buffer (refcount bump, no copy) — what the
+    /// fetcher puts on `Response.body`.
+    pub fn bytes(&self) -> Bytes {
+        self.bytes.clone()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl std::ops::Deref for PageBody {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for PageBody {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for PageBody {
+    fn from(s: String) -> PageBody {
+        PageBody::new(s)
+    }
+}
+
+impl From<&str> for PageBody {
+    fn from(s: &str) -> PageBody {
+        PageBody::new(s)
+    }
+}
+
+impl PartialEq<str> for PageBody {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for PageBody {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl fmt::Debug for PageBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for PageBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a host serves at a particular path. Body-carrying variants hold
+/// interned [`PageBody`]s, so cloning a `PageContent` (e.g. into a
+/// [`ServedPage`]) is a refcount bump, never a page copy.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PageContent {
     /// An HTML page served with `Content-Type: text/html`.
-    Html(String),
+    Html(PageBody),
     /// A JSON document served with `Content-Type: application/json`.
-    Json(String),
+    Json(PageBody),
     /// Plain text.
-    Text(String),
+    Text(PageBody),
     /// A redirect to another URL or absolute path.
     Redirect {
         /// Redirect target (absolute URL or absolute path).
@@ -36,8 +156,29 @@ pub enum PageContent {
         /// The status code to return.
         status: StatusCode,
         /// Body text served with the error.
-        body: String,
+        body: PageBody,
     },
+}
+
+impl PageContent {
+    /// The interned body, for variants that carry one (redirects do not).
+    pub fn body(&self) -> Option<&PageBody> {
+        match self {
+            PageContent::Html(body)
+            | PageContent::Json(body)
+            | PageContent::Text(body)
+            | PageContent::Error { body, .. } => Some(body),
+            PageContent::Redirect { .. } => None,
+        }
+    }
+
+    /// The body as borrowed text, if this is an HTML page.
+    pub fn html(&self) -> Option<&str> {
+        match self {
+            PageContent::Html(body) => Some(body.as_str()),
+            _ => None,
+        }
+    }
 }
 
 /// Deterministic latency model for a host.
@@ -46,6 +187,8 @@ pub enum PageContent {
 /// slept, so experiments remain fast and reproducible. The model is a base
 /// cost plus a per-kilobyte transfer cost, which is enough to drive the
 /// fetch-budget ablations.
+///
+/// [`Response`]: crate::message::Response
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     /// Fixed per-request cost in milliseconds (connection + TTFB).
@@ -75,7 +218,7 @@ impl LatencyModel {
 pub struct SiteHost {
     host: DomainName,
     pages: HashMap<String, PageContent>,
-    page_headers: HashMap<String, HeaderMap>,
+    page_headers: HashMap<String, Arc<HeaderMap>>,
     latency: LatencyModel,
     /// If true, connections are refused (simulated outage).
     offline: bool,
@@ -87,14 +230,7 @@ pub struct SiteHost {
 impl SiteHost {
     /// Create a host for the given domain name string.
     pub fn new(host: &str) -> Result<SiteHost, rws_domain::DomainError> {
-        Ok(SiteHost {
-            host: DomainName::parse(host)?,
-            pages: HashMap::new(),
-            page_headers: HashMap::new(),
-            latency: LatencyModel::default(),
-            offline: false,
-            http_only: false,
-        })
+        Ok(SiteHost::for_domain(DomainName::parse(host)?))
     }
 
     /// Create a host from an already-validated domain name.
@@ -114,15 +250,15 @@ impl SiteHost {
         &self.host
     }
 
-    /// Serve an HTML page at `path`.
-    pub fn add_page<S: Into<String>>(&mut self, path: &str, html: S) -> &mut Self {
+    /// Serve an HTML page at `path`. The body is interned once, here.
+    pub fn add_page<S: Into<PageBody>>(&mut self, path: &str, html: S) -> &mut Self {
         self.pages
             .insert(path.to_string(), PageContent::Html(html.into()));
         self
     }
 
     /// Serve a JSON document at `path`.
-    pub fn add_json<S: Into<String>>(&mut self, path: &str, json: S) -> &mut Self {
+    pub fn add_json<S: Into<PageBody>>(&mut self, path: &str, json: S) -> &mut Self {
         self.pages
             .insert(path.to_string(), PageContent::Json(json.into()));
         self
@@ -137,10 +273,7 @@ impl SiteHost {
     /// Add an extra response header for a specific path (e.g. the
     /// `X-Robots-Tag` header required on service sites).
     pub fn add_header(&mut self, path: &str, name: &str, value: &str) -> &mut Self {
-        self.page_headers
-            .entry(path.to_string())
-            .or_default()
-            .set(name, value);
+        Arc::make_mut(self.page_headers.entry(path.to_string()).or_default()).set(name, value);
         self
     }
 
@@ -182,8 +315,25 @@ impl SiteHost {
         self.pages.get(path)
     }
 
+    /// The interned body registered at `path`, if the content there carries
+    /// one.
+    pub fn page_body(&self, path: &str) -> Option<&PageBody> {
+        self.pages.get(path).and_then(PageContent::body)
+    }
+
+    /// The HTML registered at `path`, borrowed, if that path serves HTML.
+    pub fn page_html(&self, path: &str) -> Option<&str> {
+        self.pages.get(path).and_then(PageContent::html)
+    }
+
     /// Extra headers registered for `path`.
     pub fn headers_for(&self, path: &str) -> Option<&HeaderMap> {
+        self.page_headers.get(path).map(Arc::as_ref)
+    }
+
+    /// Extra headers for `path` as a shared handle — what
+    /// [`ServedPage::Content`] carries, so serving never copies the map.
+    pub fn shared_headers_for(&self, path: &str) -> Option<&Arc<HeaderMap>> {
         self.page_headers.get(path)
     }
 
@@ -193,16 +343,127 @@ impl SiteHost {
         p.sort_unstable();
         p
     }
+
+    /// What this host serves for `url` (the host-level half of
+    /// [`SimulatedWeb::serve`], shared with [`FrozenWeb::serve`]). Assumes
+    /// `url.host` already routed here.
+    fn serve_path(&self, url: &Url) -> ServedPage {
+        if self.is_offline() {
+            return ServedPage::Refused;
+        }
+        if url.is_https() && self.is_http_only() {
+            return ServedPage::TlsUnavailable;
+        }
+        match self.page(&url.path) {
+            Some(content) => ServedPage::Content {
+                content: content.clone(),
+                extra_headers: self.shared_headers_for(&url.path).cloned(),
+                latency: self.latency(),
+            },
+            None => ServedPage::Missing {
+                latency: self.latency(),
+            },
+        }
+    }
+}
+
+/// An immutable, `Arc`-shared snapshot of a web's host table.
+///
+/// There is no lock anywhere on the read path: lookups walk a plain
+/// `HashMap` behind an `Arc`, so accessors can hand out genuine borrows
+/// ([`page_html`](FrozenWeb::page_html) returns `&str` tied to `&self`,
+/// not to a lock guard) and concurrent pool tasks read without contention.
+/// Cloning a `FrozenWeb` is a refcount bump.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenWeb {
+    hosts: Arc<HashMap<DomainName, SiteHost>>,
+}
+
+impl FrozenWeb {
+    /// Freeze an explicit host table.
+    pub fn from_hosts<I: IntoIterator<Item = SiteHost>>(hosts: I) -> FrozenWeb {
+        FrozenWeb {
+            hosts: Arc::new(hosts.into_iter().map(|h| (h.domain().clone(), h)).collect()),
+        }
+    }
+
+    /// The host registered under `host`, if any. Lock-free.
+    pub fn host(&self, host: &DomainName) -> Option<&SiteHost> {
+        self.hosts.get(host)
+    }
+
+    /// True if a host with this name exists.
+    pub fn has_host(&self, host: &DomainName) -> bool {
+        self.hosts.contains_key(host)
+    }
+
+    /// Number of hosts in the snapshot.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// All host names, sorted.
+    pub fn hosts(&self) -> Vec<DomainName> {
+        let mut hosts: Vec<DomainName> = self.hosts.keys().cloned().collect();
+        hosts.sort();
+        hosts
+    }
+
+    /// The interned body a host serves at `path`, borrowed from the
+    /// snapshot.
+    pub fn page_body(&self, host: &DomainName, path: &str) -> Option<&PageBody> {
+        self.hosts.get(host).and_then(|h| h.page_body(path))
+    }
+
+    /// The HTML a host serves at `path`, borrowed from the snapshot —
+    /// the zero-copy read the classifier and the similarity sweeps run on.
+    pub fn page_html(&self, host: &DomainName, path: &str) -> Option<&str> {
+        self.hosts.get(host).and_then(|h| h.page_html(path))
+    }
+
+    /// Resolve what a host would serve for a URL — identical semantics to
+    /// [`SimulatedWeb::serve`], without the lock. Body and headers on the
+    /// result are refcount bumps into the snapshot.
+    pub fn serve(&self, url: &Url) -> ServedPage {
+        match self.hosts.get(&url.host) {
+            Some(host) => host.serve_path(url),
+            None => ServedPage::NoSuchHost,
+        }
+    }
+
+    /// A mutable web view over this snapshot: reads fall through to the
+    /// frozen base, writes land in a fresh overlay. The snapshot itself is
+    /// never touched.
+    pub fn to_web(&self) -> SimulatedWeb {
+        SimulatedWeb::from_frozen(self.clone())
+    }
+}
+
+/// Shared state of a [`SimulatedWeb`]: the immutable frozen base plus the
+/// mutable overlay of post-freeze registrations and copy-on-write edits.
+/// Overlay entries shadow same-named frozen hosts.
+#[derive(Debug, Default)]
+struct WebState {
+    frozen: FrozenWeb,
+    overlay: HashMap<DomainName, SiteHost>,
+}
+
+impl WebState {
+    fn host(&self, host: &DomainName) -> Option<&SiteHost> {
+        self.overlay.get(host).or_else(|| self.frozen.host(host))
+    }
 }
 
 /// The registry of every host in the simulated web.
 ///
 /// Cloning a `SimulatedWeb` is cheap (it is an `Arc` around shared state),
 /// so the same web can be handed to the fetcher, the validation bot and the
-/// browser engine simultaneously.
+/// browser engine simultaneously. [`freeze`](SimulatedWeb::freeze) snapshots
+/// the current hosts into an immutable [`FrozenWeb`]; later writes go to a
+/// mutable overlay shared by every clone, leaving the snapshot untouched.
 #[derive(Debug, Clone, Default)]
 pub struct SimulatedWeb {
-    inner: Arc<RwLock<HashMap<DomainName, SiteHost>>>,
+    inner: Arc<RwLock<WebState>>,
 }
 
 impl SimulatedWeb {
@@ -211,72 +472,125 @@ impl SimulatedWeb {
         SimulatedWeb::default()
     }
 
-    /// Register (or replace) a host.
+    /// Create a web whose read path falls through to an existing frozen
+    /// snapshot (shared, not copied).
+    pub fn from_frozen(frozen: FrozenWeb) -> SimulatedWeb {
+        SimulatedWeb {
+            inner: Arc::new(RwLock::new(WebState {
+                frozen,
+                overlay: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Register (or replace) a host. Post-freeze registrations land in the
+    /// overlay and shadow any same-named frozen host.
     pub fn register(&mut self, host: SiteHost) {
-        self.inner.write().insert(host.domain().clone(), host);
+        self.inner
+            .write()
+            .overlay
+            .insert(host.domain().clone(), host);
     }
 
     /// True if a host with this name exists.
     pub fn has_host(&self, host: &DomainName) -> bool {
-        self.inner.read().contains_key(host)
+        let state = self.inner.read();
+        state.overlay.contains_key(host) || state.frozen.has_host(host)
     }
 
     /// Number of registered hosts.
     pub fn host_count(&self) -> usize {
-        self.inner.read().len()
+        let state = self.inner.read();
+        state.frozen.host_count()
+            + state
+                .overlay
+                .keys()
+                .filter(|d| !state.frozen.has_host(d))
+                .count()
     }
 
     /// All registered host names, sorted.
     pub fn hosts(&self) -> Vec<DomainName> {
-        let mut hosts: Vec<DomainName> = self.inner.read().keys().cloned().collect();
+        let state = self.inner.read();
+        let mut hosts: Vec<DomainName> = state.overlay.keys().cloned().collect();
+        hosts.extend(
+            state
+                .frozen
+                .hosts
+                .keys()
+                .filter(|d| !state.overlay.contains_key(d))
+                .cloned(),
+        );
         hosts.sort();
         hosts
     }
 
     /// Run a closure against a host's definition, if it exists.
     pub fn with_host<T>(&self, host: &DomainName, f: impl FnOnce(&SiteHost) -> T) -> Option<T> {
-        self.inner.read().get(host).map(f)
+        self.inner.read().host(host).map(f)
     }
 
     /// Mutate a host's definition in place (e.g. take it offline mid-run).
+    ///
+    /// A frozen host is copied into the overlay first (cheap: interned
+    /// bodies and shared header maps make the clone a bundle of refcount
+    /// bumps), so the mutation is visible to every clone of this web while
+    /// existing [`FrozenWeb`] snapshots keep serving the original.
     pub fn update_host(&mut self, host: &DomainName, f: impl FnOnce(&mut SiteHost)) -> bool {
-        match self.inner.write().get_mut(host) {
-            Some(h) => {
-                f(h);
+        let mut state = self.inner.write();
+        if let Some(h) = state.overlay.get_mut(host) {
+            f(h);
+            return true;
+        }
+        match state.frozen.host(host).cloned() {
+            Some(mut h) => {
+                f(&mut h);
+                state.overlay.insert(host.clone(), h);
                 true
             }
             None => false,
         }
     }
 
+    /// Freeze the current host table into an immutable [`FrozenWeb`] and
+    /// make it this web's new base (the overlay drains into it). Every
+    /// clone of this web observes the freeze, since the state is shared.
+    ///
+    /// Freezing an already-frozen web with an empty overlay is free — it
+    /// just hands back the existing snapshot.
+    pub fn freeze(&self) -> FrozenWeb {
+        let mut state = self.inner.write();
+        if !state.overlay.is_empty() {
+            let mut merged: HashMap<DomainName, SiteHost> = (*state.frozen.hosts).clone();
+            merged.extend(state.overlay.drain());
+            state.frozen = FrozenWeb {
+                hosts: Arc::new(merged),
+            };
+        }
+        state.frozen.clone()
+    }
+
+    /// The current frozen base (empty if [`freeze`](SimulatedWeb::freeze)
+    /// was never called). Overlay entries are *not* included.
+    pub fn frozen_base(&self) -> FrozenWeb {
+        self.inner.read().frozen.clone()
+    }
+
     /// Resolve what a host would serve for a URL, without going through the
     /// fetcher's policy layer. This is the "server side" of the simulation.
+    /// The returned body/headers are refcount bumps, not copies.
     pub fn serve(&self, url: &Url) -> ServedPage {
-        let guard = self.inner.read();
-        let Some(host) = guard.get(&url.host) else {
-            return ServedPage::NoSuchHost;
-        };
-        if host.is_offline() {
-            return ServedPage::Refused;
-        }
-        if url.is_https() && host.is_http_only() {
-            return ServedPage::TlsUnavailable;
-        }
-        let extra_headers = host.headers_for(&url.path).cloned().unwrap_or_default();
-        match host.page(&url.path) {
-            Some(content) => ServedPage::Content {
-                content: content.clone(),
-                extra_headers,
-                latency: host.latency(),
-            },
-            None => ServedPage::Missing {
-                latency: host.latency(),
-            },
+        match self.inner.read().host(&url.host) {
+            Some(host) => host.serve_path(url),
+            None => ServedPage::NoSuchHost,
         }
     }
 }
 
 /// The raw outcome of asking the simulated web to serve a URL.
+///
+/// `Content` shares the host's interned body and header map: constructing a
+/// `ServedPage` never copies page text.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServedPage {
     /// No host by that name is registered (DNS failure analogue).
@@ -292,10 +606,10 @@ pub enum ServedPage {
     },
     /// The path resolved to content.
     Content {
-        /// What to serve.
+        /// What to serve (interned body; cloning bumped a refcount).
         content: PageContent,
-        /// Extra per-path headers.
-        extra_headers: HeaderMap,
+        /// Extra per-path headers, shared with the host's definition.
+        extra_headers: Option<Arc<HeaderMap>>,
         /// Host latency model.
         latency: LatencyModel,
     },
@@ -380,10 +694,37 @@ mod tests {
         web.register(host);
         match web.serve(&Url::parse("https://svc.example.com/").unwrap()) {
             ServedPage::Content { extra_headers, .. } => {
-                assert!(extra_headers.has_token("x-robots-tag", "noindex"));
+                assert!(extra_headers
+                    .expect("headers present")
+                    .has_token("x-robots-tag", "noindex"));
             }
             other => panic!("expected content, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn served_headers_share_the_hosts_map() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("svc.example.com").unwrap();
+        host.add_page("/", "service");
+        host.add_header("/", "X-Robots-Tag", "noindex");
+        web.register(host);
+        let url = Url::parse("https://svc.example.com/").unwrap();
+        let (a, b) = match (web.serve(&url), web.serve(&url)) {
+            (
+                ServedPage::Content {
+                    extra_headers: Some(a),
+                    ..
+                },
+                ServedPage::Content {
+                    extra_headers: Some(b),
+                    ..
+                },
+            ) => (a, b),
+            other => panic!("expected two content serves, got {other:?}"),
+        };
+        // Two serves hand out the same shared map, not two copies.
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -413,6 +754,98 @@ mod tests {
     }
 
     #[test]
+    fn freeze_produces_lock_free_equivalent_reads() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "<html>frozen home</html>");
+        host.add_header("/", "X-Robots-Tag", "noindex");
+        web.register(host);
+        let url = Url::parse("https://example.com/").unwrap();
+        let before = web.serve(&url);
+        let frozen = web.freeze();
+        assert_eq!(frozen.serve(&url), before);
+        assert_eq!(web.serve(&url), before);
+        assert_eq!(frozen.host_count(), 1);
+        assert_eq!(frozen.hosts(), web.hosts());
+        assert_eq!(
+            frozen.page_html(&dn("example.com"), "/"),
+            Some("<html>frozen home</html>")
+        );
+        assert!(frozen.page_html(&dn("example.com"), "/missing").is_none());
+        assert!(frozen.page_html(&dn("missing.com"), "/").is_none());
+    }
+
+    #[test]
+    fn served_body_is_a_refcount_bump_of_the_interned_page() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "<html>interned</html>");
+        web.register(host);
+        let frozen = web.freeze();
+        let url = Url::parse("https://example.com/").unwrap();
+        let interned_ptr = frozen
+            .page_body(&dn("example.com"), "/")
+            .unwrap()
+            .as_bytes()
+            .as_ptr();
+        match frozen.serve(&url) {
+            ServedPage::Content { content, .. } => {
+                let body = content.body().unwrap();
+                assert_eq!(body.as_bytes().as_ptr(), interned_ptr, "body was copied");
+            }
+            other => panic!("expected content, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_freeze_writes_go_to_the_overlay_and_spare_the_snapshot() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "stable");
+        web.register(host);
+        let frozen = web.freeze();
+
+        // A new host lands in the overlay: visible through the web, not the
+        // earlier snapshot.
+        let mut late = SiteHost::new("late.com").unwrap();
+        late.add_page("/", "late");
+        web.register(late);
+        assert!(web.has_host(&dn("late.com")));
+        assert!(!frozen.has_host(&dn("late.com")));
+        assert_eq!(web.host_count(), 2);
+
+        // A copy-on-write mutation of a frozen host: the web serves the new
+        // behaviour, the snapshot keeps the original.
+        assert!(web.update_host(&dn("example.com"), |h| {
+            h.set_offline(true);
+        }));
+        let url = Url::parse("https://example.com/").unwrap();
+        assert_eq!(web.serve(&url), ServedPage::Refused);
+        assert!(matches!(frozen.serve(&url), ServedPage::Content { .. }));
+
+        // Re-freezing folds the overlay in.
+        let refrozen = web.freeze();
+        assert_eq!(refrozen.host_count(), 2);
+        assert_eq!(refrozen.serve(&url), ServedPage::Refused);
+    }
+
+    #[test]
+    fn frozen_to_web_round_trip() {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("example.com").unwrap();
+        host.add_page("/", "x");
+        web.register(host);
+        let frozen = web.freeze();
+        let mut view = frozen.to_web();
+        assert!(view.has_host(&dn("example.com")));
+        // Writes to the view do not disturb the snapshot.
+        view.update_host(&dn("example.com"), |h| {
+            h.set_offline(true);
+        });
+        assert!(!frozen.host(&dn("example.com")).unwrap().is_offline());
+    }
+
+    #[test]
     fn latency_model_prices_body_size() {
         let m = LatencyModel {
             base_ms: 10,
@@ -431,5 +864,22 @@ mod tests {
         assert_eq!(host.paths(), vec!["/a", "/b"]);
         assert!(host.page("/a").is_some());
         assert!(host.page("/missing").is_none());
+    }
+
+    #[test]
+    fn page_body_behaves_like_its_text() {
+        let body = PageBody::from("héllo <b>world</b>");
+        assert_eq!(body.as_str(), "héllo <b>world</b>");
+        assert_eq!(body, "héllo <b>world</b>");
+        assert_eq!(body.len(), "héllo <b>world</b>".len());
+        assert!(!body.is_empty());
+        assert!(PageBody::default().is_empty());
+        assert_eq!(format!("{body}"), "héllo <b>world</b>");
+        assert_eq!(format!("{body:?}"), format!("{:?}", "héllo <b>world</b>"));
+        // Clones share the buffer.
+        let clone = body.clone();
+        assert_eq!(clone.as_bytes().as_ptr(), body.as_bytes().as_ptr());
+        // bytes() shares it too.
+        assert_eq!(body.bytes().as_ptr(), body.as_bytes().as_ptr());
     }
 }

@@ -1,0 +1,205 @@
+//! Property tests for the frozen page store.
+//!
+//! Contracts, each across arbitrary generated webs:
+//!
+//! * freezing is observationally invisible: every read (`serve`, `hosts`,
+//!   `host_count`, `with_host`) answers identically before the freeze,
+//!   after the freeze through the `SimulatedWeb`, and lock-free through
+//!   the `FrozenWeb` snapshot;
+//! * post-freeze writes land in the overlay: they are visible through the
+//!   web (shared by its clones) while the frozen snapshot keeps serving
+//!   the pre-freeze answers;
+//! * serving is zero-copy: a fetched `Response.body` shares its buffer
+//!   with the interned page registered at build time.
+
+use proptest::prelude::*;
+use rws_net::{
+    Fetcher, FrozenWeb, LatencyModel, PageContent, ServedPage, SimulatedWeb, SiteHost, StatusCode,
+    Url,
+};
+
+/// One generated page: a path and what it serves.
+#[derive(Debug, Clone)]
+struct PageSpec {
+    path: String,
+    content: PageContent,
+    robots_header: bool,
+}
+
+/// One generated host.
+#[derive(Debug, Clone)]
+struct HostSpec {
+    pages: Vec<PageSpec>,
+    offline: bool,
+    http_only: bool,
+    base_ms: u64,
+}
+
+fn content_strategy() -> impl Strategy<Value = PageContent> {
+    (0u8..5, "[ -~]{0,120}", "/[a-z]{1,6}", any::<bool>()).prop_map(
+        |(kind, body, location, permanent)| match kind {
+            0 => PageContent::Html(body.into()),
+            1 => PageContent::Json(body.into()),
+            2 => PageContent::Text(body.into()),
+            3 => PageContent::Redirect {
+                location,
+                permanent,
+            },
+            _ => PageContent::Error {
+                status: StatusCode::SERVICE_UNAVAILABLE,
+                body: body.into(),
+            },
+        },
+    )
+}
+
+fn host_strategy() -> impl Strategy<Value = HostSpec> {
+    (
+        proptest::collection::vec(
+            ("/[a-z0-9]{1,8}", content_strategy(), any::<bool>()).prop_map(
+                |(path, content, robots_header)| PageSpec {
+                    path,
+                    content,
+                    robots_header,
+                },
+            ),
+            0..5,
+        ),
+        any::<bool>(),
+        any::<bool>(),
+        1u64..200,
+    )
+        .prop_map(|(pages, offline, http_only, base_ms)| HostSpec {
+            pages,
+            offline,
+            http_only,
+            base_ms,
+        })
+}
+
+/// Materialise the generated web plus the probe URLs every contract reads.
+fn build_web(hosts: &[HostSpec]) -> (SimulatedWeb, Vec<Url>) {
+    let mut web = SimulatedWeb::new();
+    let mut urls = Vec::new();
+    for (i, spec) in hosts.iter().enumerate() {
+        let name = format!("host{i}.example.com");
+        let mut host = SiteHost::new(&name).unwrap();
+        host.set_offline(spec.offline).set_http_only(spec.http_only);
+        host.set_latency(LatencyModel {
+            base_ms: spec.base_ms,
+            per_kb_ms: 1,
+        });
+        for page in &spec.pages {
+            host.add_content(&page.path, page.content.clone());
+            if page.robots_header {
+                host.add_header(&page.path, "X-Robots-Tag", "noindex");
+            }
+        }
+        web.register(host);
+        for page in &spec.pages {
+            urls.push(Url::parse(&format!("https://{name}{}", page.path)).unwrap());
+            urls.push(Url::parse(&format!("http://{name}{}", page.path)).unwrap());
+        }
+        urls.push(Url::parse(&format!("https://{name}/not-registered")).unwrap());
+    }
+    urls.push(Url::parse("https://unregistered.example.com/").unwrap());
+    (web, urls)
+}
+
+proptest! {
+    /// FrozenWeb reads ≡ pre-freeze SimulatedWeb reads, for every probe
+    /// URL and the host-table views, across arbitrary webs.
+    #[test]
+    fn frozen_reads_match_pre_freeze_reads(hosts in proptest::collection::vec(host_strategy(), 0..6)) {
+        let (web, urls) = build_web(&hosts);
+
+        let before: Vec<ServedPage> = urls.iter().map(|u| web.serve(u)).collect();
+        let hosts_before = web.hosts();
+        let count_before = web.host_count();
+
+        let frozen: FrozenWeb = web.freeze();
+
+        for (url, expected) in urls.iter().zip(&before) {
+            prop_assert_eq!(&frozen.serve(url), expected, "frozen serve diverged on {}", url);
+            prop_assert_eq!(&web.serve(url), expected, "post-freeze web serve diverged on {}", url);
+        }
+        prop_assert_eq!(frozen.hosts(), hosts_before.clone());
+        prop_assert_eq!(web.hosts(), hosts_before);
+        prop_assert_eq!(frozen.host_count(), count_before);
+        prop_assert_eq!(web.host_count(), count_before);
+
+        // Per-host views agree too (paths, flags, page lookups).
+        for domain in frozen.hosts() {
+            let snapshot_paths: Vec<String> = frozen
+                .host(&domain)
+                .unwrap()
+                .paths()
+                .iter()
+                .map(|p| p.to_string())
+                .collect();
+            let web_paths = web
+                .with_host(&domain, |h| {
+                    h.paths().iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                })
+                .unwrap();
+            prop_assert_eq!(snapshot_paths, web_paths);
+        }
+    }
+
+    /// Post-freeze writes (register + copy-on-write update) are visible
+    /// through the web and all of its clones, but never through the frozen
+    /// snapshot.
+    #[test]
+    fn overlay_writes_spare_the_snapshot(hosts in proptest::collection::vec(host_strategy(), 1..5)) {
+        let (web, urls) = build_web(&hosts);
+        let mut web = web;
+        let clone = web.clone();
+        let frozen = web.freeze();
+        let before: Vec<ServedPage> = urls.iter().map(|u| frozen.serve(u)).collect();
+
+        // Overlay registration: a brand-new host.
+        let late_name = "late-arrival.example.com";
+        let mut late = SiteHost::new(late_name).unwrap();
+        late.add_page("/", "late body");
+        web.register(late);
+        let late_domain = rws_domain::DomainName::parse(late_name).unwrap();
+        prop_assert!(clone.has_host(&late_domain), "clones share the overlay");
+        prop_assert!(!frozen.has_host(&late_domain), "snapshot must not see overlay hosts");
+
+        // Copy-on-write mutation of a frozen host.
+        let first = frozen.hosts()[0].clone();
+        let was_offline = frozen.host(&first).unwrap().is_offline();
+        prop_assert!(web.update_host(&first, |h| { h.set_offline(!was_offline); }));
+        let mutated = clone.with_host(&first, |h| h.is_offline()).unwrap();
+        prop_assert_eq!(mutated, !was_offline, "clones share the CoW edit");
+        prop_assert_eq!(frozen.host(&first).unwrap().is_offline(), was_offline);
+
+        // Every snapshot answer is byte-identical to before the writes.
+        for (url, expected) in urls.iter().zip(&before) {
+            prop_assert_eq!(&frozen.serve(url), expected);
+        }
+    }
+
+    /// A body fetched through the full client stack shares its bytes with
+    /// the interned page — no copy anywhere between registration and
+    /// `Response.body`. And the borrowed `body_str` equals the owned
+    /// `body_text`.
+    #[test]
+    fn fetched_bodies_share_the_interned_buffer(body in "[ -~]{1,200}") {
+        let mut web = SimulatedWeb::new();
+        let mut host = SiteHost::new("zero.example.com").unwrap();
+        host.add_page("/", body.clone());
+        web.register(host);
+        let frozen = web.freeze();
+        let domain = rws_domain::DomainName::parse("zero.example.com").unwrap();
+        let interned = frozen.page_body(&domain, "/").unwrap().bytes();
+
+        let fetcher = Fetcher::new(web);
+        let resp = fetcher
+            .get(&Url::parse("https://zero.example.com/").unwrap())
+            .unwrap();
+        prop_assert_eq!(resp.body.as_ptr(), interned.as_ptr(), "body was copied");
+        prop_assert_eq!(resp.body_str(), Some(body.as_str()));
+        prop_assert_eq!(resp.body_text(), body);
+    }
+}

@@ -314,7 +314,14 @@ impl SetValidator {
                         detail: format!("HTTP {}", resp.status),
                     })
                 }
-                Ok(resp) => match WellKnownFile::from_json_str(&resp.body_text()) {
+                // The served JSON is interned UTF-8, so the borrowed
+                // `body_str` fast path parses without re-allocating the
+                // body; the lossy copy only runs for non-UTF-8 bodies.
+                Ok(resp) => match resp
+                    .body_str()
+                    .map(WellKnownFile::from_json_str)
+                    .unwrap_or_else(|| WellKnownFile::from_json_str(&resp.body_text()))
+                {
                     Err(err) => issues.push(ValidationIssue::WellKnownUnfetchable {
                         site: member.clone(),
                         detail: err.to_string(),
