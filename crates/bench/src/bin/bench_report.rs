@@ -10,15 +10,17 @@
 
 use rws_analysis::{PaperReproduction, Scenario, ScenarioConfig};
 use rws_bench::{bench_scenario, domain_pairs};
-use rws_classify::{CategoryDatabase, KeywordClassifier};
-use rws_corpus::{CorpusConfig, CorpusGenerator};
+use rws_classify::{CategoryDatabase, KeywordAutomaton, KeywordClassifier};
+use rws_corpus::{
+    render_site, Brand, CorpusConfig, CorpusGenerator, Language, RenderArena, SiteCategory,
+};
 use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
 use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
 use rws_engine::EngineContext;
 use rws_html::similarity::{
     html_similarity_naive, DocumentProfile, ProfileScratch, SimilarityWeights,
 };
-use rws_html::{tokenize, Tokens};
+use rws_html::{text_content, tokenize, Tokens, TokensFind};
 use rws_stats::rng::Xoshiro256StarStar;
 use rws_survey::{PairGenerator, SurveyRunner, SurveyScale};
 use serde_json::{json, Map, Value};
@@ -70,6 +72,7 @@ fn main() {
         .unwrap_or(1);
     let mut kernels = Map::new();
     let mut speedups = Map::new();
+    let mut throughput = Map::new();
 
     // --- bounded Levenshtein over 1k domain pairs --------------------------
     let pairs = domain_pairs();
@@ -356,6 +359,97 @@ fn main() {
         json!(tokenizer_owned_ns / tokenizer_streaming_ns),
     );
 
+    // --- SWAR word scanning vs the frozen find-based tokenizer -------------
+    // The same streaming token stream, two scanners: `TokensFind` is the
+    // PR-5 implementation frozen as a baseline (`str::find` positioning and
+    // per-char text-collapse probes), `Tokens` runs the SWAR word loops
+    // (eight bytes per step for `<`/`>`/`-->` scans and the clean-text
+    // probe). Property-tested token-for-token equal; this PR's acceptance
+    // bar is a >= 1.5x ratio.
+    let total_tokens: usize = docs.iter().map(|d| Tokens::new(d).count()).sum();
+    let tokenizer_find_ns = measure(|| {
+        let mut tokens = 0usize;
+        for doc in &docs {
+            tokens += TokensFind::new(doc).count();
+        }
+        black_box(tokens);
+    });
+    let tokenizer_swar_ns = measure(|| {
+        let mut tokens = 0usize;
+        for doc in &docs {
+            tokens += Tokens::new(doc).count();
+        }
+        black_box(tokens);
+    });
+    kernels.insert("tokenizer_find_baseline".into(), json!(tokenizer_find_ns));
+    kernels.insert("tokenizer_swar".into(), json!(tokenizer_swar_ns));
+    speedups.insert(
+        "tokenizer_swar_vs_find".into(),
+        json!(tokenizer_find_ns / tokenizer_swar_ns),
+    );
+    throughput.insert(
+        "tokenizer_find_tokens_per_sec".into(),
+        json!(total_tokens as f64 * 1e9 / tokenizer_find_ns),
+    );
+    throughput.insert(
+        "tokenizer_swar_tokens_per_sec".into(),
+        json!(total_tokens as f64 * 1e9 / tokenizer_swar_ns),
+    );
+
+    // --- arena page rendering vs the format! oracle ------------------------
+    // 32 synthetic sites rendered per op: the oracle builds every block as
+    // its own `format!` String before pushing it into the page, the arena
+    // streams the same bytes into one warm reusable buffer (zero heap
+    // allocations once grown — pinned by the corpus alloc gate). Identical
+    // output and RNG stream are property-tested (render_equivalence).
+    let mut spec_rng = Xoshiro256StarStar::new(0x5257_5306);
+    let render_specs: Vec<(DomainName, Brand, SiteCategory, Language)> = (0..32)
+        .map(|i| {
+            let brand = Brand::generate(&mut spec_rng);
+            let domain = DomainName::parse(&format!("{}{i}.example", brand.slug)).unwrap();
+            let category = SiteCategory::ALL[i % SiteCategory::ALL.len()];
+            let language = if i % 4 == 0 {
+                Language::NonEnglish
+            } else {
+                Language::English
+            };
+            (domain, brand, category, language)
+        })
+        .collect();
+    let render_format_ns = measure(|| {
+        let mut bytes = 0usize;
+        for (domain, brand, category, language) in &render_specs {
+            let mut rng = Xoshiro256StarStar::new(11).derive(domain.as_str());
+            bytes += render_site(domain, brand, *category, *language, &mut rng).len();
+        }
+        black_box(bytes);
+    });
+    let mut bench_arena = RenderArena::new();
+    let render_arena_ns = measure(|| {
+        let mut bytes = 0usize;
+        for (domain, brand, category, language) in &render_specs {
+            let mut rng = Xoshiro256StarStar::new(11).derive(domain.as_str());
+            bytes += bench_arena
+                .render_site_into(domain, brand, *category, *language, &mut rng)
+                .len();
+        }
+        black_box(bytes);
+    });
+    kernels.insert("render_format_oracle".into(), json!(render_format_ns));
+    kernels.insert("render_arena".into(), json!(render_arena_ns));
+    speedups.insert(
+        "render_arena_vs_format".into(),
+        json!(render_format_ns / render_arena_ns),
+    );
+    throughput.insert(
+        "render_format_pages_per_sec".into(),
+        json!(render_specs.len() as f64 * 1e9 / render_format_ns),
+    );
+    throughput.insert(
+        "render_arena_pages_per_sec".into(),
+        json!(render_specs.len() as f64 * 1e9 / render_arena_ns),
+    );
+
     // --- classification: single-pass automaton vs seed classifier ----------
     // The seed classifier tokenizes every page three times, builds an owned
     // lowercase haystack and rescans it once per keyword (~70); the
@@ -397,6 +491,38 @@ fn main() {
     speedups.insert(
         "classify_automaton_vs_naive".into(),
         json!(classify_naive_ns / classify_automaton_ns),
+    );
+
+    // --- batched prefilter word split vs the per-byte scan -----------------
+    // The automaton's walk over extracted page text: `feed_text` locates
+    // word boundaries eight bytes at a time with a SWAR class mask and
+    // probes the first-byte x length prefilter span by span,
+    // `feed_text_naive` is the seed per-byte split. Identical hits and
+    // verdicts are property-tested (classify equivalence suite).
+    let classify_texts: Vec<String> = classify_pages
+        .iter()
+        .map(|(_, html)| text_content(html))
+        .collect();
+    let automaton = KeywordAutomaton::global();
+    let prefilter_naive_ns = measure(|| {
+        for text in &classify_texts {
+            let mut matcher = automaton.matcher();
+            matcher.feed_text_naive(text);
+            black_box(matcher.finish(1));
+        }
+    });
+    let prefilter_batch_ns = measure(|| {
+        for text in &classify_texts {
+            let mut matcher = automaton.matcher();
+            matcher.feed_text(text);
+            black_box(matcher.finish(1));
+        }
+    });
+    kernels.insert("classify_prefilter_naive".into(), json!(prefilter_naive_ns));
+    kernels.insert("classify_prefilter_batch".into(), json!(prefilter_batch_ns));
+    speedups.insert(
+        "classify_prefilter_batch_vs_naive".into(),
+        json!(prefilter_naive_ns / prefilter_batch_ns),
     );
 
     // --- frozen page store: borrowed vs cloned page access -----------------
@@ -636,6 +762,7 @@ fn main() {
         "unit": "ns_per_op",
         "kernels": Value::Object(kernels),
         "speedups": Value::Object(speedups),
+        "throughput": Value::Object(throughput),
         "resolver_cache": Value::Object(resolver_cache),
         "engine": Value::Object(engine),
     });

@@ -22,6 +22,7 @@
 use crate::keyword::CATEGORY_KEYWORDS;
 use rws_corpus::SiteCategory;
 use rws_stats::memo::FnvBuildHasher;
+use rws_stats::swar::boundary_mask8;
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -195,13 +196,50 @@ impl TokenMatcher<'_> {
     }
 
     /// Split a text run into alphanumeric words (the seed classifier's word
-    /// boundary rule) and feed each. Scans bytes rather than chars: the
-    /// boundary predicate is ASCII-only and every byte of a multi-byte
-    /// UTF-8 character is a non-alphanumeric byte, so the byte split
-    /// produces exactly the words of
-    /// `text.split(|c: char| !c.is_ascii_alphanumeric())` — and each word
-    /// is pure ASCII, so slicing at byte offsets stays on char boundaries.
+    /// boundary rule) and feed each, eight bytes at a time: a SWAR movemask
+    /// flags the non-alphanumeric boundary bytes of each word-sized chunk,
+    /// and the per-word prefilter probe runs inline on the span without the
+    /// per-byte branch of [`feed_text_naive`]. The boundary predicate is
+    /// ASCII-only and every byte of a multi-byte UTF-8 character is a
+    /// non-alphanumeric byte, so the byte split produces exactly the words
+    /// of `text.split(|c: char| !c.is_ascii_alphanumeric())` — and each
+    /// word is pure ASCII, so slicing at byte offsets stays on char
+    /// boundaries.
     pub fn feed_text(&mut self, text: &str) {
+        let bytes = text.as_bytes();
+        let len = bytes.len();
+        let mut start = 0usize;
+        let mut i = 0usize;
+        while let Some(mask) = boundary_mask8(bytes, i) {
+            let mut m = mask;
+            while m != 0 {
+                let boundary = i + m.trailing_zeros() as usize;
+                if boundary > start {
+                    self.feed_span(text, start, boundary);
+                }
+                start = boundary + 1;
+                m &= m - 1;
+            }
+            i += 8;
+        }
+        while i < len {
+            if !bytes[i].is_ascii_alphanumeric() {
+                if i > start {
+                    self.feed_span(text, start, i);
+                }
+                start = i + 1;
+            }
+            i += 1;
+        }
+        if len > start {
+            self.feed_span(text, start, len);
+        }
+    }
+
+    /// The seed per-byte word split, retained as the equivalence oracle for
+    /// [`feed_text`](Self::feed_text) and the baseline the
+    /// `classify_prefilter_batch` bench kernel is measured against.
+    pub fn feed_text_naive(&mut self, text: &str) {
         let bytes = text.as_bytes();
         let mut start = 0usize;
         for (i, b) in bytes.iter().enumerate() {
@@ -214,6 +252,32 @@ impl TokenMatcher<'_> {
         }
         if bytes.len() > start {
             self.feed(&text[start..]);
+        }
+    }
+
+    /// Feed a non-empty word span of `text`, probing the prefilter inline.
+    /// Identical in effect to [`feed`](Self::feed) on `&text[start..end]`,
+    /// minus the redundant clear of an already-empty candidate list.
+    #[inline]
+    fn feed_span(&mut self, text: &str, start: usize, end: usize) {
+        let word = &text[start..end];
+        let bytes = word.as_bytes();
+        let len_bit = 1u32 << bytes.len().min(31);
+        if self.automaton.prefilter[bytes[0].to_ascii_lowercase() as usize] & len_bit == 0 {
+            if !self.active.is_empty() {
+                self.active.clear();
+            }
+            return;
+        }
+        if bytes.iter().any(|b| b.is_ascii_uppercase()) {
+            let mut buf = std::mem::take(&mut self.lower_buf);
+            buf.clear();
+            buf.push_str(word);
+            buf.make_ascii_lowercase();
+            self.step(&buf);
+            self.lower_buf = buf;
+        } else {
+            self.step(word);
         }
     }
 

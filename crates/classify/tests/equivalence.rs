@@ -66,6 +66,43 @@ proptest! {
         }
     }
 
+    /// The SWAR-batched word split (`feed_text`) ≡ the seed per-byte split
+    /// (`feed_text_naive`): identical per-category hits and verdicts on
+    /// arbitrary text, including non-ASCII and punctuation runs.
+    #[test]
+    fn batched_word_split_matches_naive_on_arbitrary_text(text in ".{0,300}") {
+        let automaton = rws_classify::KeywordAutomaton::global();
+        let mut batched = automaton.matcher();
+        batched.feed_text(&text);
+        let mut naive = automaton.matcher();
+        naive.feed_text_naive(&text);
+        for category in SiteCategory::ALL {
+            prop_assert_eq!(batched.hits_for(category), naive.hits_for(category));
+        }
+        prop_assert_eq!(batched.finish(1), naive.finish(1));
+    }
+
+    /// Same equivalence on rendered corpus pages — the text the classifier
+    /// actually consumes, with vocabulary words present.
+    #[test]
+    fn batched_word_split_matches_naive_on_rendered_pages(seed in 0u64..1_000_000) {
+        let automaton = rws_classify::KeywordAutomaton::global();
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for category in [SiteCategory::NewsAndMedia, SiteCategory::Shopping] {
+            let brand = Brand::generate(&mut rng);
+            let domain = DomainName::parse(&format!("{}.example", brand.slug)).unwrap();
+            let html = rws_corpus::render_site(&domain, &brand, category, Language::English, &mut rng);
+            let text = rws_html::text_content(&html);
+            let mut batched = automaton.matcher();
+            batched.feed_text(&text);
+            let mut naive = automaton.matcher();
+            naive.feed_text_naive(&text);
+            for c in SiteCategory::ALL {
+                prop_assert_eq!(batched.hits_for(c), naive.hits_for(c));
+            }
+        }
+    }
+
     /// Pooled `classify_corpus_on` ≡ sequential `classify_corpus` across
     /// corpus seeds — and both, now running on borrowed views out of the
     /// frozen page store, ≡ `classify_corpus_cloning`, the retained PR-4

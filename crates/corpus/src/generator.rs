@@ -17,8 +17,8 @@
 
 use crate::brand::{Brand, Organisation};
 use crate::category::SiteCategory;
+use crate::render::RenderArena;
 use crate::site::{Language, SiteRole, SiteSpec};
-use crate::template::{render_about_page, render_site};
 use crate::tranco::TrancoList;
 use rws_domain::DomainName;
 use rws_engine::EngineContext;
@@ -464,15 +464,17 @@ impl CorpusGenerator {
         // Per-site work (template rendering dominates) is independent: each
         // site draws from an rng stream derived from its own domain, so the
         // hosts can be built in parallel and registered in order without
-        // changing a single output byte.
+        // changing a single output byte. Each worker renders through its own
+        // reusable RenderArena — pages build up in one warm buffer and the
+        // finished bytes are interned into the PageBody in a single copy.
         let specs: Vec<&SiteSpec> = sites.values().collect();
-        let hosts = ctx.par_map(&specs, |_, spec| {
+        let hosts = ctx.par_map_with(RenderArena::new(), &specs, |arena, _, spec| {
             let mut host = SiteHost::for_domain(spec.domain.clone());
             if !spec.live {
                 host.set_offline(true);
             }
             let mut page_rng = rng.derive(spec.domain.as_str());
-            let html = render_site(
+            let html = arena.render_site_into(
                 &spec.domain,
                 &spec.brand,
                 spec.category,
@@ -482,7 +484,7 @@ impl CorpusGenerator {
             host.add_page("/", html);
             host.add_page(
                 "/about",
-                render_about_page(&spec.domain, &spec.brand, spec.language),
+                arena.render_about_page_into(&spec.domain, &spec.brand, spec.language),
             );
             // RWS members serve their well-known files; service sites also
             // carry the X-Robots-Tag header the validator checks for.

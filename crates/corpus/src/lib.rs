@@ -26,6 +26,7 @@
 pub mod brand;
 pub mod category;
 pub mod generator;
+pub mod render;
 pub mod site;
 pub mod template;
 pub mod tranco;
@@ -33,6 +34,7 @@ pub mod tranco;
 pub use brand::{Brand, Organisation};
 pub use category::SiteCategory;
 pub use generator::{Corpus, CorpusConfig, CorpusGenerator};
+pub use render::RenderArena;
 pub use site::{Language, SiteRole, SiteSpec};
-pub use template::{render_site, TemplateStyle};
+pub use template::{render_about_page, render_site, TemplateStyle};
 pub use tranco::{TrancoEntry, TrancoList};

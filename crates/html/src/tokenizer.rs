@@ -7,6 +7,7 @@
 //! pollute the text extraction), and tolerating unquoted or missing
 //! attribute values.
 
+use rws_stats::swar::{find_byte, has_ascii_uppercase, is_collapsed_ascii, scan_text_run};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -337,9 +338,44 @@ impl<'a> Iterator for AttrIter<'a> {
     }
 }
 
+/// Void-element membership for the streaming tokenizer's hot path: a
+/// literal `matches!` lowers to a length switch with one comparison per
+/// arm, where the seed's `VOID_ELEMENTS.contains` walks all fourteen
+/// entries for every non-void tag (the overwhelmingly common case).
+#[inline]
+fn is_void_element(name: &str) -> bool {
+    matches!(
+        name,
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
+    )
+}
+
 /// Lower-case a string, borrowing when it is already lower-case (the common
-/// case for real-world tag and attribute names).
+/// case for real-world tag and attribute names). The uppercase probe runs
+/// eight bytes per step.
 fn lowercase_cow(s: &str) -> Cow<'_, str> {
+    if has_ascii_uppercase(s.as_bytes()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// The frozen per-byte uppercase probe, kept for [`TokensFind`].
+fn lowercase_cow_scalar(s: &str) -> Cow<'_, str> {
     if s.bytes().any(|b| b.is_ascii_uppercase()) {
         Cow::Owned(s.to_ascii_lowercase())
     } else {
@@ -349,35 +385,74 @@ fn lowercase_cow(s: &str) -> Cow<'_, str> {
 
 /// Collapse whitespace in a text run, borrowing when the trimmed slice is
 /// already collapsed (single spaces only). Returns `None` for
-/// whitespace-only runs, which produce no token.
+/// whitespace-only runs, which produce no token. A word-at-a-time probe
+/// admits clean ASCII runs to the borrowed path without a per-char loop;
+/// everything else (non-ASCII, messy whitespace) takes the exact scalar
+/// check.
 fn collapse_text(raw: &str) -> Option<Cow<'_, str>> {
     let trimmed = raw.trim();
     if trimmed.is_empty() {
         return None;
     }
+    if is_collapsed_ascii(trimmed.as_bytes()) {
+        return Some(Cow::Borrowed(trimmed));
+    }
+    Some(collapse_trimmed_scalar(trimmed))
+}
+
+/// The frozen per-char collapse, kept for [`TokensFind`].
+fn collapse_text_scalar(raw: &str) -> Option<Cow<'_, str>> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    Some(collapse_trimmed_scalar(trimmed))
+}
+
+/// Exact per-char whitespace collapse over an already-trimmed, non-empty
+/// run; borrows when the run is already collapsed.
+fn collapse_trimmed_scalar(trimmed: &str) -> Cow<'_, str> {
     let mut prev_space = false;
     for c in trimmed.chars() {
         if c == ' ' {
             if prev_space {
-                return Some(Cow::Owned(
-                    trimmed.split_whitespace().collect::<Vec<_>>().join(" "),
-                ));
+                return Cow::Owned(trimmed.split_whitespace().collect::<Vec<_>>().join(" "));
             }
             prev_space = true;
         } else if c.is_whitespace() {
-            return Some(Cow::Owned(
-                trimmed.split_whitespace().collect::<Vec<_>>().join(" "),
-            ));
+            return Cow::Owned(trimmed.split_whitespace().collect::<Vec<_>>().join(" "));
         } else {
             prev_space = false;
         }
     }
-    Some(Cow::Borrowed(trimmed))
+    Cow::Borrowed(trimmed)
 }
 
 /// Find the first case-insensitive `</name` in `haystack`, without building
 /// a lower-cased copy of the remainder (the owned tokenizer's approach).
+/// Candidate `<` positions come from the word-at-a-time scanner; the name
+/// comparison only runs at those.
 fn find_close_marker(haystack: &str, name: &str) -> Option<usize> {
+    let hb = haystack.as_bytes();
+    let nb = name.as_bytes();
+    let total = nb.len() + 2;
+    if hb.len() < total {
+        return None;
+    }
+    let limit = hb.len() - total + 1;
+    let mut j = 0;
+    while let Some(off) = find_byte(&hb[j..limit], b'<') {
+        let p = j + off;
+        if hb[p + 1] == b'/' && hb[p + 2..p + 2 + nb.len()].eq_ignore_ascii_case(nb) {
+            return Some(p);
+        }
+        j = p + 1;
+    }
+    None
+}
+
+/// The frozen per-position close-marker scan, kept for [`TokensFind`].
+fn find_close_marker_scalar(haystack: &str, name: &str) -> Option<usize> {
     let hb = haystack.as_bytes();
     let nb = name.as_bytes();
     let total = nb.len() + 2;
@@ -387,6 +462,73 @@ fn find_close_marker(haystack: &str, name: &str) -> Option<usize> {
     (0..=hb.len() - total).find(|&p| {
         hb[p] == b'<' && hb[p + 1] == b'/' && hb[p + 2..p + 2 + nb.len()].eq_ignore_ascii_case(nb)
     })
+}
+
+/// End of a comment opened at `open` (the index of its `<`): the index just
+/// past the first `-->` at or after `open + 4`, scanning for `>` a word at
+/// a time and checking the two preceding bytes, which is equivalent to a
+/// substring search for `-->` (the first `>` preceded by `--` is the `>` of
+/// the first `-->` occurrence).
+fn find_comment_end(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut j = open + 6;
+    while j < bytes.len() {
+        let p = j + find_byte(&bytes[j..], b'>')?;
+        if bytes[p - 1] == b'-' && bytes[p - 2] == b'-' {
+            return Some(p + 1);
+        }
+        j = p + 1;
+    }
+    None
+}
+
+/// `str::trim` with the char-iterator machinery skipped for the all-ASCII
+/// common case: trim ASCII whitespace bytewise, then defer to the exact
+/// Unicode trim only when an edge still holds a non-ASCII byte or a
+/// vertical tab (0x0b — the one ASCII character `char::is_whitespace`
+/// covers that `u8::is_ascii_whitespace` does not).
+#[inline]
+fn trim_fast(s: &str) -> &str {
+    let t = s.trim_ascii();
+    let b = t.as_bytes();
+    match (b.first(), b.last()) {
+        (Some(&f), Some(&l)) if f >= 0x80 || l >= 0x80 || f == 0x0b || l == 0x0b => t.trim(),
+        _ => t,
+    }
+}
+
+/// Split an already-trimmed tag body into its lower-cased name and the
+/// attribute remainder, tracking case in the same walk that finds the name
+/// end (one pass instead of a name-end scan plus a separate uppercase probe).
+/// Defers to the exact char walk when a non-ASCII byte appears before the
+/// name ends (Unicode whitespace such as U+00A0 must still terminate the
+/// name, matching the owned oracle's `char::is_whitespace`).
+#[inline]
+fn split_tag_name(body: &str) -> (Cow<'_, str>, &str) {
+    let b = body.as_bytes();
+    let mut upper = false;
+    let mut k = 0;
+    while k < b.len() {
+        let c = b[k];
+        if c >= 0x80 {
+            let end = body[k..]
+                .char_indices()
+                .find(|(_, ch)| ch.is_whitespace())
+                .map_or(body.len(), |(off, _)| k + off);
+            return (lowercase_cow(&body[..end]), &body[end..]);
+        }
+        if c == b' ' || (0x09..=0x0d).contains(&c) {
+            break;
+        }
+        upper |= c.is_ascii_uppercase();
+        k += 1;
+    }
+    let name = &body[..k];
+    let name = if upper {
+        Cow::Owned(name.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(name)
+    };
+    (name, &body[k..])
 }
 
 /// The zero-copy streaming tokenizer: an iterator over [`StreamToken`]s
@@ -442,6 +584,133 @@ impl<'a> Iterator for Tokens<'a> {
         while self.i < len {
             let i = self.i;
             if bytes[i] == b'<' {
+                // One peek at the byte after `<` dispatches comments,
+                // declarations and processing instructions, instead of
+                // re-slicing the remainder through a `starts_with` chain.
+                match bytes.get(i + 1) {
+                    Some(b'!') if bytes[i + 2..].starts_with(b"--") => {
+                        // Comment: skip to just past the first `-->`.
+                        self.i = find_comment_end(bytes, i).unwrap_or(len);
+                        continue;
+                    }
+                    Some(b'!') | Some(b'?') => {
+                        // Doctype or other declaration.
+                        match find_byte(&bytes[i + 2..], b'>') {
+                            Some(end) => self.i = i + 2 + end + 1,
+                            None => self.i = len,
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Find the end of the tag.
+                let Some(rel_end) = find_byte(&bytes[i + 1..], b'>') else {
+                    // Unterminated tag: treat the rest as text.
+                    self.i = len;
+                    return collapse_text(&html[i..]).map(StreamToken::Text);
+                };
+                let tag_body = &html[i + 1..i + 1 + rel_end];
+                self.i = i + 1 + rel_end + 1;
+                if tag_body.is_empty() {
+                    continue;
+                }
+                if let Some(name) = tag_body.strip_prefix('/') {
+                    let name = trim_fast(name);
+                    if name.is_empty() {
+                        continue;
+                    }
+                    return Some(StreamToken::Close {
+                        name: lowercase_cow(name),
+                    });
+                }
+                let body = trim_fast(tag_body);
+                let (body, explicit_self_close) = match body.strip_suffix('/') {
+                    Some(rest) => (trim_fast(rest), true),
+                    None => (body, false),
+                };
+                let (name, raw) = split_tag_name(body);
+                if name.is_empty() {
+                    continue;
+                }
+                let attributes = RawAttrs { raw };
+                let self_closing = explicit_self_close || is_void_element(name.as_ref());
+                let is_raw_text = matches!(name.as_ref(), "script" | "style");
+                // Skip the raw content of <script>/<style> up to the
+                // matching closing tag, queueing the Close token.
+                if is_raw_text && !self_closing {
+                    match find_close_marker(&html[self.i..], name.as_ref()) {
+                        Some(rel) => {
+                            self.i += rel;
+                            if let Some(end) = find_byte(&bytes[self.i..], b'>') {
+                                self.pending_close = Some(name.clone());
+                                self.i += end + 1;
+                            }
+                        }
+                        // Unterminated raw-text element: consume to the end.
+                        None => self.i = len,
+                    }
+                }
+                return Some(StreamToken::Open {
+                    name,
+                    attributes,
+                    self_closing,
+                });
+            }
+            // One fused pass over the text run: the position of the next
+            // `<` and the already-collapsed verdict come out of the same
+            // word loop, instead of a find followed by a re-scan probe.
+            let (off, clean) = scan_text_run(&bytes[i..]);
+            let next_tag = i + off;
+            self.i = next_tag;
+            let trimmed = trim_fast(&html[i..next_tag]);
+            if !trimmed.is_empty() {
+                let text = if clean {
+                    Cow::Borrowed(trimmed)
+                } else {
+                    collapse_trimmed_scalar(trimmed)
+                };
+                return Some(StreamToken::Text(text));
+            }
+        }
+        None
+    }
+}
+
+/// The PR-5 `str::find`-based streaming tokenizer, frozen as the baseline
+/// the `tokenizer_swar` bench kernel is measured against (and a third
+/// differential oracle for the property tests). Token-for-token equivalent
+/// to [`Tokens`] and [`tokenize`]; do not optimise this type.
+#[derive(Debug, Clone)]
+pub struct TokensFind<'a> {
+    html: &'a str,
+    i: usize,
+    pending_close: Option<Cow<'a, str>>,
+}
+
+impl<'a> TokensFind<'a> {
+    /// Start streaming tokens from a document.
+    pub fn new(html: &'a str) -> TokensFind<'a> {
+        TokensFind {
+            html,
+            i: 0,
+            pending_close: None,
+        }
+    }
+}
+
+impl<'a> Iterator for TokensFind<'a> {
+    type Item = StreamToken<'a>;
+
+    fn next(&mut self) -> Option<StreamToken<'a>> {
+        if let Some(name) = self.pending_close.take() {
+            return Some(StreamToken::Close { name });
+        }
+        let html = self.html;
+        let bytes = html.as_bytes();
+        let len = bytes.len();
+        while self.i < len {
+            let i = self.i;
+            if bytes[i] == b'<' {
                 // Comment?
                 if html[i..].starts_with("<!--") {
                     match html[i + 4..].find("-->") {
@@ -462,7 +731,7 @@ impl<'a> Iterator for Tokens<'a> {
                 let Some(rel_end) = html[i..].find('>') else {
                     // Unterminated tag: treat the rest as text.
                     self.i = len;
-                    return collapse_text(&html[i..]).map(StreamToken::Text);
+                    return collapse_text_scalar(&html[i..]).map(StreamToken::Text);
                 };
                 let tag_body = &html[i + 1..i + rel_end];
                 self.i = i + rel_end + 1;
@@ -475,7 +744,7 @@ impl<'a> Iterator for Tokens<'a> {
                         continue;
                     }
                     return Some(StreamToken::Close {
-                        name: lowercase_cow(name),
+                        name: lowercase_cow_scalar(name),
                     });
                 }
                 let body = tag_body.trim();
@@ -493,7 +762,7 @@ impl<'a> Iterator for Tokens<'a> {
                 if name_end == 0 {
                     continue;
                 }
-                let name = lowercase_cow(&body[..name_end]);
+                let name = lowercase_cow_scalar(&body[..name_end]);
                 let attributes = RawAttrs {
                     raw: &body[name_end..],
                 };
@@ -502,7 +771,7 @@ impl<'a> Iterator for Tokens<'a> {
                 // Skip the raw content of <script>/<style> up to the
                 // matching closing tag, queueing the Close token.
                 if is_raw_text && !self_closing {
-                    match find_close_marker(&html[self.i..], name.as_ref()) {
+                    match find_close_marker_scalar(&html[self.i..], name.as_ref()) {
                         Some(rel) => {
                             self.i += rel;
                             if let Some(end) = html[self.i..].find('>') {
@@ -522,7 +791,7 @@ impl<'a> Iterator for Tokens<'a> {
             }
             let next_tag = html[i..].find('<').map(|o| i + o).unwrap_or(len);
             self.i = next_tag;
-            if let Some(text) = collapse_text(&html[i..next_tag]) {
+            if let Some(text) = collapse_text_scalar(&html[i..next_tag]) {
                 return Some(StreamToken::Text(text));
             }
         }
@@ -668,9 +937,23 @@ mod tests {
             "< /div>",
             "<div a=1 a=2>dup</div>",
             "",
+            "<!-->",
+            "<!--->",
+            "<!---->",
+            "<!--a--b-->tail",
+            "<!>after",
+            "<?xml version='1.0'?><p>pi</p>",
+            "<!doctype html>",
+            "<div\u{00a0}x=1>nbsp name end</div>",
+            "<p>a > b</p>",
+            "<p>already collapsed run stays borrowed</p>",
+            "<p>tab\tand\u{00a0}nbsp   runs</p>",
         ] {
+            let owned = tokenize(html);
             let streamed: Vec<Token> = Tokens::new(html).map(|t| t.to_token()).collect();
-            assert_eq!(streamed, tokenize(html), "divergence on {html:?}");
+            assert_eq!(streamed, owned, "SWAR stream divergence on {html:?}");
+            let baseline: Vec<Token> = TokensFind::new(html).map(|t| t.to_token()).collect();
+            assert_eq!(baseline, owned, "find baseline divergence on {html:?}");
         }
     }
 

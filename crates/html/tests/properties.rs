@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use rws_html::similarity::{html_similarity, SimilarityWeights};
-use rws_html::{class_set, jaccard, shingles, tag_sequence, tokenize, Token, Tokens};
+use rws_html::{class_set, jaccard, shingles, tag_sequence, tokenize, Token, Tokens, TokensFind};
 use std::collections::BTreeSet;
 
 /// Strategy producing small, nested, well-formed HTML snippets.
@@ -32,20 +32,27 @@ proptest! {
         let _ = class_set(&input);
     }
 
-    /// The zero-copy streaming tokenizer reproduces the owned oracle token
-    /// for token on arbitrary (including malformed) input.
+    /// The zero-copy streaming tokenizer (SWAR scans) and the frozen
+    /// find-based baseline both reproduce the owned oracle token for token
+    /// on arbitrary (including malformed) input.
     #[test]
     fn streaming_tokenizer_equals_owned_on_arbitrary_input(input in ".{0,400}") {
+        let owned = tokenize(&input);
         let streamed: Vec<Token> = Tokens::new(&input).map(|t| t.to_token()).collect();
-        prop_assert_eq!(streamed, tokenize(&input));
+        prop_assert_eq!(streamed, owned.clone());
+        let baseline: Vec<Token> = TokensFind::new(&input).map(|t| t.to_token()).collect();
+        prop_assert_eq!(baseline, owned);
     }
 
     /// Same equivalence on well-formed generated documents (tag soup with
     /// classes and text), where the stream should also borrow throughout.
     #[test]
     fn streaming_tokenizer_equals_owned_on_html(a in html_strategy()) {
+        let owned = tokenize(&a);
         let streamed: Vec<Token> = Tokens::new(&a).map(|t| t.to_token()).collect();
-        prop_assert_eq!(streamed, tokenize(&a));
+        prop_assert_eq!(streamed, owned.clone());
+        let baseline: Vec<Token> = TokensFind::new(&a).map(|t| t.to_token()).collect();
+        prop_assert_eq!(baseline, owned);
     }
 
     /// All similarity scores stay in [0, 1] and a document compared with

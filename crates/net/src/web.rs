@@ -104,8 +104,14 @@ impl From<String> for PageBody {
 }
 
 impl From<&str> for PageBody {
+    /// Intern a borrowed body with a single copy, straight into the shared
+    /// buffer — the path arena-rendered pages take (`PageBody::new` via
+    /// `Into<String>` would copy twice: once into the `String`, once into
+    /// `Bytes`).
     fn from(s: &str) -> PageBody {
-        PageBody::new(s)
+        PageBody {
+            bytes: Bytes::copy_from_slice(s.as_bytes()),
+        }
     }
 }
 

@@ -35,6 +35,7 @@ pub mod pool;
 pub mod quantile;
 pub mod rng;
 pub mod sampling;
+pub mod swar;
 pub mod timeseries;
 
 pub use descriptive::{mean, population_variance, sample_variance, stddev, Summary};
@@ -49,6 +50,10 @@ pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use sampling::{
     choose, sample_indices_floyd, sample_indices_without_replacement, sample_without_replacement,
     shuffle, weighted_choice,
+};
+pub use swar::{
+    boundary_mask8, broadcast, eq_mask, find_byte, find_byte2, has_ascii_uppercase,
+    is_collapsed_ascii, scan_text_run,
 };
 pub use timeseries::{Date, Month, MonthlySeries, EPOCH};
 
