@@ -21,6 +21,7 @@ use rws_html::similarity::{
     html_similarity_naive, DocumentProfile, ProfileScratch, SimilarityWeights,
 };
 use rws_html::{text_content, tokenize, Tokens, TokensFind};
+use rws_load::{LoadEngine, LoadScale, LoadTarget};
 use rws_stats::rng::Xoshiro256StarStar;
 use rws_survey::{PairGenerator, SurveyRunner, SurveyScale};
 use serde_json::{json, Map, Value};
@@ -738,6 +739,124 @@ fn main() {
         json!(run_all_sequential_ns / run_all_pooled_ns),
     );
 
+    // --- fetcher request accounting: sharded counter vs mutex log ----------
+    // 64 GETs per op through a freshly-built fetcher (rebuilding bounds the
+    // logged variant's Vec growth to one op's worth). The unlogged default
+    // bumps one relaxed atomic shard per hop; the opt-in log takes the
+    // process-wide mutex and materialises a `Request` (Url clone + header
+    // map) per hop — the cost every pre-PR-7 fetch paid.
+    let load_target = LoadTarget::from_corpus(&scenario.corpus);
+    let kernel_urls: Vec<rws_net::Url> = load_target
+        .hosts()
+        .iter()
+        .take(16)
+        .map(|d| rws_net::Url::https(d, "/"))
+        .collect();
+    assert!(kernel_urls.len() >= 8, "fetcher kernel needs a URL sample");
+    let fetcher_unlogged_ns = measure(|| {
+        let fetcher = load_target.fetcher();
+        let mut total = 0u64;
+        for _ in 0..4 {
+            for url in &kernel_urls {
+                if let Ok(resp) = fetcher.get(url) {
+                    total += resp.latency_ms;
+                }
+            }
+        }
+        black_box((total, fetcher.requests_issued()));
+    });
+    let fetcher_logged_ns = measure(|| {
+        let fetcher = load_target.fetcher().with_request_log();
+        let mut total = 0u64;
+        for _ in 0..4 {
+            for url in &kernel_urls {
+                if let Ok(resp) = fetcher.get(url) {
+                    total += resp.latency_ms;
+                }
+            }
+        }
+        black_box((total, fetcher.requests_issued()));
+    });
+    kernels.insert("fetcher_unlogged_64_get".into(), json!(fetcher_unlogged_ns));
+    kernels.insert("fetcher_logged_64_get".into(), json!(fetcher_logged_ns));
+    speedups.insert(
+        "fetcher_unlogged_vs_logged".into(),
+        json!(fetcher_logged_ns / fetcher_unlogged_ns),
+    );
+
+    // --- load engine: a >=100k-request replay, pooled vs sequential --------
+    // Hundreds of thousands of wire requests from ~12k simulated clients
+    // against the frozen bench corpus: mixed GET/HEAD, vanity-host
+    // redirects, `.well-known` probes, five vendor partitioning verdicts
+    // per page response, simulated connections and think time. Pooled and
+    // sequential runs produce the identical report (asserted below and
+    // property-tested in crates/load); on a single-core host the ratio
+    // degenerates to ~1.0 like every pooled kernel in this trajectory.
+    const LOAD_SEED: u64 = 0x4C4F_4144; // "LOAD"
+    let load_scale = LoadScale::smoke().times(50);
+    let load_engine = LoadEngine::new(load_target, load_scale);
+    let load_ctx = EngineContext::new();
+    let load_sequential_ctx = load_ctx.sequential_twin();
+    let load_report = load_engine.run_on(LOAD_SEED, &load_ctx);
+    assert!(
+        load_report.wire_requests >= 100_000,
+        "load replay must cover at least 100k wire requests (got {})",
+        load_report.wire_requests
+    );
+    let load_replay = load_engine.replay_sequential(LOAD_SEED);
+    let load_pooled_ns = measure(|| {
+        black_box(load_engine.run_on(LOAD_SEED, &load_ctx));
+    });
+    let load_sequential_ns = measure(|| {
+        black_box(load_engine.run_on(LOAD_SEED, &load_sequential_ctx));
+    });
+    kernels.insert("load_replay_pooled".into(), json!(load_pooled_ns));
+    kernels.insert("load_replay_sequential".into(), json!(load_sequential_ns));
+    speedups.insert(
+        "load_pooled_vs_sequential".into(),
+        json!(load_sequential_ns / load_pooled_ns),
+    );
+    throughput.insert(
+        "load_requests_per_wall_sec".into(),
+        json!(load_report.fetch_calls as f64 * 1e9 / load_pooled_ns),
+    );
+    throughput.insert(
+        "load_requests_per_sim_sec".into(),
+        json!(load_report.requests_per_sim_sec()),
+    );
+    let mut load_map = Map::new();
+    load_map.insert("seed".into(), json!(LOAD_SEED));
+    load_map.insert("clients".into(), json!(load_report.clients));
+    load_map.insert("sessions".into(), json!(load_report.sessions));
+    load_map.insert("requests".into(), json!(load_report.fetch_calls));
+    load_map.insert("wire_requests".into(), json!(load_report.wire_requests));
+    load_map.insert(
+        "well_known_probes".into(),
+        json!(load_report.well_known_probes),
+    );
+    load_map.insert(
+        "redirects_followed".into(),
+        json!(load_report.redirects_followed),
+    );
+    load_map.insert("errors".into(), json!(load_report.error_count()));
+    load_map.insert("latency_p50_ms".into(), json!(load_report.latency.p50()));
+    load_map.insert("latency_p90_ms".into(), json!(load_report.latency.p90()));
+    load_map.insert("latency_p99_ms".into(), json!(load_report.latency.p99()));
+    load_map.insert("latency_p999_ms".into(), json!(load_report.latency.p999()));
+    load_map.insert("latency_mean_ms".into(), json!(load_report.latency.mean()));
+    load_map.insert(
+        "sim_duration_ms".into(),
+        json!(load_report.sim_duration_ms()),
+    );
+    load_map.insert(
+        "requests_per_sim_sec".into(),
+        json!(load_report.requests_per_sim_sec()),
+    );
+    load_map.insert(
+        "pooled_equals_sequential".into(),
+        json!(load_report == load_replay),
+    );
+
     let mut resolver_cache = Map::new();
     resolver_cache.insert("hits".into(), json!(resolver_stats.hits));
     resolver_cache.insert("misses".into(), json!(resolver_stats.misses));
@@ -765,6 +884,7 @@ fn main() {
         "throughput": Value::Object(throughput),
         "resolver_cache": Value::Object(resolver_cache),
         "engine": Value::Object(engine),
+        "load": Value::Object(load_map),
     });
     let path = format!("BENCH_{index}.json");
     let text = serde_json::to_string_pretty(&report).expect("serialisable");

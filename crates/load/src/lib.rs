@@ -1,0 +1,58 @@
+//! Load engine: hammer the frozen web with simulated browser traffic.
+//!
+//! Everything the paper measures is request traffic — crawls of every set
+//! member's `/.well-known/related-website-set.json`, page fetches for the
+//! similarity analysis, per-vendor storage-partitioning decisions on each
+//! response. This crate turns that workload into a *load generator*: up to
+//! hundreds of thousands of simulated browser clients replayed through the
+//! [`EngineContext`](rws_engine::EngineContext) pool against the lock-free
+//! [`FrozenWeb`](rws_net::FrozenWeb) snapshot, the "millions of users" leg
+//! of the roadmap's north star made measurable.
+//!
+//! # Model
+//!
+//! Each client is a deterministic state machine driven by its own
+//! rng stream (derived from the run seed and the client id, so results are
+//! independent of scheduling):
+//!
+//! * a session of Poisson-many page visits over a skewed host popularity
+//!   distribution, mixed GET/HEAD, `/` and `/about` paths;
+//! * redirect-following via vanity entry hosts registered on top of the
+//!   frozen snapshot;
+//! * `.well-known/related-website-set.json` probes;
+//! * a per-vendor (`VendorPolicy::ALL`) storage-partitioning decision on
+//!   every successful page response;
+//! * a simulated clock: per-response `latency_ms` accumulation, simulated
+//!   connection setup and keep-alive reuse, exponential think time.
+//!
+//! Clients run over a simulated-clock event loop (a binary heap of
+//! next-action times) in fixed chunks fanned out on the pool. All
+//! aggregation is integer arithmetic into a mergeable
+//! [`LatencyHistogram`](rws_stats::LatencyHistogram) and counter set, so a
+//! pooled run, its sequential twin, and the straight one-client-at-a-time
+//! [`replay_sequential`](LoadEngine::replay_sequential) oracle produce
+//! *identical* [`LoadReport`]s field for field — property-tested, like
+//! every other pooled subsystem in this workspace.
+//!
+//! ```
+//! use rws_corpus::{CorpusConfig, CorpusGenerator};
+//! use rws_load::{LoadEngine, LoadScale, LoadTarget};
+//!
+//! let corpus = CorpusGenerator::new(CorpusConfig::small(7)).generate();
+//! let target = LoadTarget::from_corpus(&corpus);
+//! let engine = LoadEngine::new(target, LoadScale::smoke());
+//! let report = engine.run(42);
+//! assert!(report.fetch_calls > 0);
+//! assert_eq!(report, engine.run(42)); // deterministic for a fixed seed
+//! ```
+
+pub mod client;
+pub mod engine;
+pub mod report;
+pub mod scale;
+pub mod target;
+
+pub use engine::LoadEngine;
+pub use report::{LoadReport, VendorTally};
+pub use scale::LoadScale;
+pub use target::LoadTarget;

@@ -1,0 +1,140 @@
+//! What a load run fetches: a frozen snapshot plus redirect entry hosts.
+
+use rws_corpus::Corpus;
+use rws_domain::DomainName;
+use rws_model::RwsList;
+use rws_net::{FetchPolicy, Fetcher, FrozenWeb, PageContent, SimulatedWeb, SiteHost};
+
+/// Number of vanity entry hosts registered per target (bounded by the
+/// host-universe size).
+const VANITY_HOSTS: usize = 48;
+
+/// The immutable world a load run hammers.
+///
+/// Built once from a corpus (or any frozen snapshot + RWS list): the
+/// browsable host universe in deterministic order, plus a set of *vanity
+/// entry hosts* (`go0.load-entry.example`, ...) that 301/302-redirect to
+/// real hosts — the corpus itself registers no redirects, and the load mix
+/// needs them to exercise the fetcher's redirect following under load.
+/// Registering them lands in an overlay over the corpus snapshot which is
+/// then re-frozen, so the run reads a single lock-free [`FrozenWeb`].
+#[derive(Debug, Clone)]
+pub struct LoadTarget {
+    frozen: FrozenWeb,
+    list: RwsList,
+    hosts: Vec<DomainName>,
+    vanity: Vec<DomainName>,
+}
+
+impl LoadTarget {
+    /// Target the frozen web and RWS list of a generated corpus.
+    pub fn from_corpus(corpus: &Corpus) -> LoadTarget {
+        LoadTarget::from_frozen(corpus.frozen.clone(), corpus.list.clone())
+    }
+
+    /// Target an arbitrary frozen snapshot and list.
+    pub fn from_frozen(frozen: FrozenWeb, list: RwsList) -> LoadTarget {
+        let hosts = frozen.hosts();
+        let vanity_count = if hosts.is_empty() {
+            0
+        } else {
+            VANITY_HOSTS.min(hosts.len())
+        };
+        let mut web = SimulatedWeb::from_frozen(frozen);
+        let mut vanity = Vec::with_capacity(vanity_count);
+        for i in 0..vanity_count {
+            // Deterministic spread of redirect destinations over the
+            // universe; 37 is coprime to most small sizes so consecutive
+            // entries land far apart.
+            let destination = &hosts[(i * 37) % hosts.len()];
+            let name = format!("go{i}.load-entry.example");
+            let domain = DomainName::parse(&name).expect("vanity host name is valid");
+            let mut host = SiteHost::for_domain(domain.clone());
+            host.add_content(
+                "/",
+                PageContent::Redirect {
+                    location: format!("https://{destination}/"),
+                    permanent: i % 2 == 0,
+                },
+            );
+            web.register(host);
+            vanity.push(domain);
+        }
+        LoadTarget {
+            frozen: web.freeze(),
+            list,
+            hosts,
+            vanity,
+        }
+    }
+
+    /// The browsable host universe (excludes vanity entry hosts), in
+    /// deterministic sorted order.
+    pub fn hosts(&self) -> &[DomainName] {
+        &self.hosts
+    }
+
+    /// The redirect-only entry hosts.
+    pub fn vanity(&self) -> &[DomainName] {
+        &self.vanity
+    }
+
+    /// The frozen snapshot the run serves from (universe + vanity hosts).
+    pub fn frozen(&self) -> &FrozenWeb {
+        &self.frozen
+    }
+
+    /// The RWS list partitioning decisions consult.
+    pub fn list(&self) -> &RwsList {
+        &self.list
+    }
+
+    /// A fresh fetcher over this target: default policy, unlogged (sharded
+    /// atomic request accounting), its own counter family — so each run's
+    /// `wire_requests` starts at zero.
+    pub fn fetcher(&self) -> Fetcher {
+        Fetcher::with_policy(
+            SimulatedWeb::from_frozen(self.frozen.clone()),
+            FetchPolicy::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rws_net::Url;
+
+    fn tiny_target() -> LoadTarget {
+        let mut web = SimulatedWeb::new();
+        for name in ["alpha.com", "beta.com", "gamma.com"] {
+            let mut host = SiteHost::new(name).unwrap();
+            host.add_page("/", "<html><body>hello</body></html>");
+            web.register(host);
+        }
+        LoadTarget::from_frozen(web.freeze(), RwsList::default())
+    }
+
+    #[test]
+    fn vanity_hosts_redirect_into_the_universe() {
+        let target = tiny_target();
+        assert_eq!(target.hosts().len(), 3);
+        assert_eq!(target.vanity().len(), 3);
+        let fetcher = target.fetcher();
+        for v in target.vanity() {
+            let resp = fetcher.get(&Url::https(v, "/")).unwrap();
+            assert!(resp.status.is_success());
+            assert_eq!(resp.redirects_followed, 1);
+            assert!(target.hosts().contains(&resp.url.host));
+        }
+    }
+
+    #[test]
+    fn universe_excludes_vanity_hosts() {
+        let target = tiny_target();
+        for v in target.vanity() {
+            assert!(!target.hosts().contains(v));
+            assert!(target.frozen().has_host(v));
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Error types for the simulated network layer.
 
+use crate::message::StatusCode;
 use std::fmt;
 
 /// Failures that the simulated fetcher can report.
@@ -32,14 +33,17 @@ pub enum NetError {
         /// The offending URL.
         url: String,
     },
-    /// The server did not have a resource at the requested path.
-    ///
-    /// Carried as an error only when the caller asked for errors on
-    /// non-success statuses; otherwise a 404 [`Response`](crate::Response)
-    /// is returned.
-    NotFound {
-        /// The URL that produced the 404.
+    /// The server answered with a non-success status when the caller asked
+    /// for success ([`Fetcher::get_success`](crate::Fetcher::get_success)
+    /// and [`Fetcher::get_json`](crate::Fetcher::get_json)); the real
+    /// status is carried rather than erased. Plain
+    /// [`Fetcher::get`](crate::Fetcher::get) returns the
+    /// [`Response`](crate::Response) instead.
+    HttpStatus {
+        /// The URL that produced the status.
         url: String,
+        /// The non-success status the server returned.
+        status: StatusCode,
     },
     /// Redirect chain exceeded the fetch policy's limit.
     TooManyRedirects {
@@ -79,7 +83,9 @@ impl fmt::Display for NetError {
             NetError::HttpsRequired { url } => {
                 write!(f, "HTTPS required but '{url}' is not https")
             }
-            NetError::NotFound { url } => write!(f, "resource not found at '{url}'"),
+            NetError::HttpStatus { url, status } => {
+                write!(f, "unexpected HTTP {status} at '{url}'")
+            }
             NetError::TooManyRedirects { start, limit } => {
                 write!(f, "more than {limit} redirects starting from '{start}'")
             }
@@ -94,6 +100,23 @@ impl fmt::Display for NetError {
                 f,
                 "request to '{url}' timed out ({latency_ms}ms > {deadline_ms}ms deadline)"
             ),
+        }
+    }
+}
+
+impl NetError {
+    /// A short, stable class label for aggregation (the load engine tallies
+    /// error traffic by class; one label per variant).
+    pub fn class(&self) -> &'static str {
+        match self {
+            NetError::InvalidUrl { .. } => "invalid-url",
+            NetError::HostNotFound { .. } => "host-not-found",
+            NetError::ConnectionRefused { .. } => "connection-refused",
+            NetError::HttpsRequired { .. } => "https-required",
+            NetError::HttpStatus { .. } => "http-status",
+            NetError::TooManyRedirects { .. } => "too-many-redirects",
+            NetError::InvalidJson { .. } => "invalid-json",
+            NetError::Timeout { .. } => "timeout",
         }
     }
 }

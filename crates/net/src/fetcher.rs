@@ -7,6 +7,7 @@ use crate::url::Url;
 use crate::web::{PageContent, ServedPage, SimulatedWeb};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Client-side fetch policy.
@@ -44,15 +45,115 @@ impl FetchPolicy {
     }
 }
 
+/// Number of counter shards backing the default (unlogged) request tally.
+const COUNTER_SHARDS: usize = 16;
+
+/// One cache line per counter so clones incrementing different shards never
+/// share a line (the load engine issues hundreds of thousands of requests
+/// across pool workers through clones of one fetcher).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedCounter {
+    value: AtomicU64,
+}
+
+/// A fixed set of relaxed atomic counters shared by every clone of a
+/// fetcher. Each clone gets its own preferred shard at clone time, so the
+/// per-request hot path is a single uncontended `fetch_add` — no lock, no
+/// allocation — while `requests_issued` still reports the family-wide
+/// total by summing shards.
+#[derive(Debug, Default)]
+struct CounterShards {
+    counts: [PaddedCounter; COUNTER_SHARDS],
+    /// Round-robin assignment of shards to clones.
+    next: AtomicUsize,
+}
+
+impl CounterShards {
+    fn assign(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS
+    }
+
+    fn total(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|c| c.value.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Where issued requests are accounted: the default path counts them on a
+/// sharded atomic (no global lock, no per-hop `Request` construction); the
+/// opt-in path ([`Fetcher::with_request_log`]) keeps the full log behind a
+/// mutex for tests and small crawls that want to inspect traffic.
+#[derive(Debug)]
+enum RequestSink {
+    Count {
+        shards: Arc<CounterShards>,
+        shard: usize,
+    },
+    Log(Arc<Mutex<Vec<Request>>>),
+}
+
+impl RequestSink {
+    fn fresh_counting() -> RequestSink {
+        let shards = Arc::new(CounterShards::default());
+        // Shard 0 goes to the original; clones take 1, 2, ... round-robin.
+        shards.next.store(1, Ordering::Relaxed);
+        RequestSink::Count { shards, shard: 0 }
+    }
+
+    /// The sink a cloned fetcher gets: same family-wide accounting, own
+    /// preferred shard so concurrent clones do not contend.
+    fn fork(&self) -> RequestSink {
+        match self {
+            RequestSink::Count { shards, .. } => RequestSink::Count {
+                shards: Arc::clone(shards),
+                shard: shards.assign(),
+            },
+            RequestSink::Log(log) => RequestSink::Log(Arc::clone(log)),
+        }
+    }
+
+    #[inline]
+    fn note(&self, method: Method, url: &Url) {
+        match self {
+            RequestSink::Count { shards, shard } => {
+                shards.counts[*shard].value.fetch_add(1, Ordering::Relaxed);
+            }
+            RequestSink::Log(log) => log.lock().push(Request {
+                method,
+                url: url.clone(),
+                headers: HeaderMap::new(),
+            }),
+        }
+    }
+}
+
 /// A deterministic HTTP client over a [`SimulatedWeb`].
 ///
-/// The fetcher records every request it issues so experiments can report
-/// crawl sizes and so tests can assert on traffic.
-#[derive(Debug, Clone)]
+/// The fetcher counts every request it issues (including redirect hops) on
+/// a lock-free sharded counter shared by all of its clones, so experiments
+/// can report crawl sizes from any copy. Full per-request logging — every
+/// hop materialised as a [`Request`] behind a mutex — is opt-in via
+/// [`Fetcher::with_request_log`], because under concurrent load that one
+/// process-wide lock is exactly the contention the load engine exists to
+/// measure.
+#[derive(Debug)]
 pub struct Fetcher {
     web: SimulatedWeb,
     policy: FetchPolicy,
-    log: Arc<Mutex<Vec<Request>>>,
+    sink: RequestSink,
+}
+
+impl Clone for Fetcher {
+    fn clone(&self) -> Fetcher {
+        Fetcher {
+            web: self.web.clone(),
+            policy: self.policy,
+            sink: self.sink.fork(),
+        }
+    }
 }
 
 impl Fetcher {
@@ -66,8 +167,17 @@ impl Fetcher {
         Fetcher {
             web,
             policy,
-            log: Arc::new(Mutex::new(Vec::new())),
+            sink: RequestSink::fresh_counting(),
         }
+    }
+
+    /// Switch this fetcher (and every clone made from it afterwards) to
+    /// full request logging: each hop is recorded as a [`Request`] in a
+    /// shared log readable via [`request_log`](Fetcher::request_log).
+    /// Counts issued before the switch are discarded.
+    pub fn with_request_log(mut self) -> Fetcher {
+        self.sink = RequestSink::Log(Arc::new(Mutex::new(Vec::new())));
+        self
     }
 
     /// The policy in force.
@@ -80,14 +190,23 @@ impl Fetcher {
         &self.web
     }
 
-    /// Number of requests issued so far (including redirect hops).
+    /// Number of requests issued so far (including redirect hops) by this
+    /// fetcher and every clone sharing its accounting.
     pub fn requests_issued(&self) -> usize {
-        self.log.lock().len()
+        match &self.sink {
+            RequestSink::Count { shards, .. } => shards.total() as usize,
+            RequestSink::Log(log) => log.lock().len(),
+        }
     }
 
-    /// A copy of the request log.
-    pub fn request_log(&self) -> Vec<Request> {
-        self.log.lock().clone()
+    /// A copy of the request log, or `None` unless this fetcher was built
+    /// with [`with_request_log`](Fetcher::with_request_log) — the default
+    /// path never materialises requests or takes a lock.
+    pub fn request_log(&self) -> Option<Vec<Request>> {
+        match &self.sink {
+            RequestSink::Count { .. } => None,
+            RequestSink::Log(log) => Some(log.lock().clone()),
+        }
     }
 
     /// GET a URL, following redirects per policy.
@@ -101,15 +220,24 @@ impl Fetcher {
         self.execute(Method::Head, url)
     }
 
-    /// GET a URL and parse the body as JSON.
-    pub fn get_json(&self, url: &Url) -> Result<serde_json::Value, NetError> {
+    /// GET a URL and require a success status: any non-2xx answer becomes
+    /// [`NetError::HttpStatus`] carrying the real status code instead of
+    /// erasing it.
+    pub fn get_success(&self, url: &Url) -> Result<Response, NetError> {
         let resp = self.get(url)?;
         if !resp.status.is_success() {
-            return Err(NetError::NotFound {
-                url: url.to_string(),
+            return Err(NetError::HttpStatus {
+                url: resp.url.to_string(),
+                status: resp.status,
             });
         }
-        resp.body_json()
+        Ok(resp)
+    }
+
+    /// GET a URL and parse the body as JSON. Non-success statuses surface
+    /// as [`NetError::HttpStatus`] (see [`get_success`](Fetcher::get_success)).
+    pub fn get_json(&self, url: &Url) -> Result<serde_json::Value, NetError> {
+        self.get_success(url)?.body_json()
     }
 
     fn execute(&self, method: Method, start: &Url) -> Result<Response, NetError> {
@@ -123,11 +251,7 @@ impl Fetcher {
                     url: current.to_string(),
                 });
             }
-            self.log.lock().push(Request {
-                method,
-                url: current.clone(),
-                headers: HeaderMap::new(),
-            });
+            self.sink.note(method, &current);
 
             let served = self.web.serve(&current);
             // `body` is a refcount bump of the interned page, never a copy.
@@ -351,7 +475,83 @@ mod tests {
         let err = fetcher
             .get_json(&Url::parse("https://example.com/missing.json").unwrap())
             .unwrap_err();
-        assert!(matches!(err, NetError::NotFound { .. }));
+        // The real status is carried, not erased to a generic not-found.
+        assert!(matches!(
+            err,
+            NetError::HttpStatus {
+                status: StatusCode::NOT_FOUND,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn get_success_carries_the_real_status() {
+        let fetcher = Fetcher::new(web_with_example());
+        let err = fetcher
+            .get_success(&Url::parse("https://example.com/gone").unwrap())
+            .unwrap_err();
+        match err {
+            NetError::HttpStatus { url, status } => {
+                assert_eq!(status, StatusCode::GONE);
+                assert!(url.contains("/gone"));
+                assert_eq!(err_class_of(status), "http-status");
+            }
+            other => panic!("expected HttpStatus, got {other:?}"),
+        }
+        // Success statuses pass through untouched.
+        let resp = fetcher
+            .get_success(&Url::parse("https://example.com/").unwrap())
+            .unwrap();
+        assert!(resp.status.is_success());
+    }
+
+    fn err_class_of(status: StatusCode) -> &'static str {
+        NetError::HttpStatus {
+            url: String::new(),
+            status,
+        }
+        .class()
+    }
+
+    #[test]
+    fn request_logging_is_opt_in() {
+        // Default path: counted, never logged — request_log() has nothing
+        // to return because no Request was materialised and no lock taken.
+        let fetcher = Fetcher::new(web_with_example());
+        let url = Url::parse("https://example.com/old").unwrap();
+        fetcher.get(&url).unwrap();
+        assert_eq!(fetcher.requests_issued(), 2); // redirect hop + landing
+        assert_eq!(fetcher.request_log(), None);
+
+        // Opt-in path: every hop materialised in order.
+        let logged = Fetcher::new(web_with_example()).with_request_log();
+        logged.get(&url).unwrap();
+        let log = logged.request_log().expect("opt-in log present");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].url.path, "/old");
+        assert_eq!(log[1].url.path, "/");
+        assert_eq!(logged.requests_issued(), 2);
+    }
+
+    #[test]
+    fn clones_share_request_accounting() {
+        let fetcher = Fetcher::new(web_with_example());
+        let url = Url::parse("https://example.com/").unwrap();
+        fetcher.get(&url).unwrap();
+        let clone = fetcher.clone();
+        clone.get(&url).unwrap();
+        clone.clone().get(&url).unwrap();
+        // Every clone reports the family-wide total, whichever shard the
+        // individual increments landed on.
+        assert_eq!(fetcher.requests_issued(), 3);
+        assert_eq!(clone.requests_issued(), 3);
+
+        // Logged fetchers keep sharing the log across clones.
+        let logged = Fetcher::new(web_with_example()).with_request_log();
+        logged.clone().get(&url).unwrap();
+        logged.get(&url).unwrap();
+        assert_eq!(logged.request_log().unwrap().len(), 2);
     }
 
     #[test]

@@ -303,17 +303,16 @@ impl SetValidator {
     fn check_well_known(&self, set: &RwsSet, issues: &mut Vec<ValidationIssue>) {
         for member in set.domains() {
             let url = well_known_path(&member);
-            match self.fetcher.get(&url) {
+            // `get_success` folds non-success statuses into a
+            // status-carrying NetError, so transport failures and HTTP
+            // errors funnel through one arm — matching the bot's single
+            // "unable to fetch" failure class while keeping the real
+            // status in the detail.
+            match self.fetcher.get_success(&url) {
                 Err(err) => issues.push(ValidationIssue::WellKnownUnfetchable {
                     site: member.clone(),
                     detail: err.to_string(),
                 }),
-                Ok(resp) if !resp.status.is_success() => {
-                    issues.push(ValidationIssue::WellKnownUnfetchable {
-                        site: member.clone(),
-                        detail: format!("HTTP {}", resp.status),
-                    })
-                }
                 // The served JSON is interned UTF-8, so the borrowed
                 // `body_str` fast path parses without re-allocating the
                 // body; the lossy copy only runs for non-UTF-8 bodies.

@@ -134,6 +134,14 @@ impl CategoryCounter {
     pub fn distinct(&self) -> usize {
         self.counts.len()
     }
+
+    /// Fold another counter into this one (exact, order-independent — the
+    /// load engine merges per-worker error tallies with this).
+    pub fn merge(&mut self, other: &CategoryCounter) {
+        for (category, count) in &other.counts {
+            *self.counts.entry(category.clone()).or_insert(0) += count;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ pub mod descriptive;
 pub mod ecdf;
 pub mod histogram;
 pub mod ks;
+pub mod latency;
 pub mod memo;
 pub mod parallel;
 pub mod pool;
@@ -42,6 +43,7 @@ pub use descriptive::{mean, population_variance, sample_variance, stddev, Summar
 pub use ecdf::Ecdf;
 pub use histogram::{CategoryCounter, Histogram};
 pub use ks::{ks_critical_value, ks_two_sample, KsResult};
+pub use latency::LatencyHistogram;
 pub use memo::ShardedMemo;
 pub use parallel::{join2, par_for_each, par_map, par_map_coarse, par_map_with};
 pub use pool::ThreadPool;

@@ -1,0 +1,86 @@
+//! Property gate: `LatencyHistogram` percentiles vs. a sort-the-samples
+//! oracle.
+//!
+//! The histogram answers quantiles from log-linear buckets; the oracle
+//! sorts the raw samples and indexes by rank. The bucketing guarantees the
+//! histogram's answer never undershoots the oracle's and overshoots by at
+//! most one bucket width (≤ `x/32 + 1` for an oracle value `x`).
+
+use proptest::prelude::*;
+use rws_stats::LatencyHistogram;
+
+/// The rank-based oracle: the `ceil(q * n)`-th smallest sample.
+fn sort_oracle(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_agree_with_sort_oracle(
+        samples in proptest::collection::vec(0u64..5_000_000, 1..500),
+        q_millis in 0u64..=1000,
+    ) {
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        let q = q_millis as f64 / 1000.0;
+        let oracle = sort_oracle(&sorted, q);
+        let answer = hist.value_at_quantile(q);
+        prop_assert!(
+            answer >= oracle,
+            "histogram undershot: q={q} answer={answer} oracle={oracle}"
+        );
+        prop_assert!(
+            answer <= oracle + oracle / 32 + 1,
+            "histogram overshot a bucket: q={q} answer={answer} oracle={oracle}"
+        );
+
+        // The named percentiles obey the same bound.
+        for (q, answer) in [
+            (0.50, hist.p50()),
+            (0.90, hist.p90()),
+            (0.99, hist.p99()),
+            (0.999, hist.p999()),
+        ] {
+            let oracle = sort_oracle(&sorted, q);
+            prop_assert!(answer >= oracle && answer <= oracle + oracle / 32 + 1);
+        }
+
+        // Exact invariants, independent of bucketing.
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.min(), sorted[0]);
+        prop_assert_eq!(hist.max(), *sorted.last().unwrap());
+        prop_assert_eq!(hist.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(hist.value_at_quantile(1.0), hist.max());
+    }
+
+    /// Merging split halves equals recording the whole stream — for any
+    /// split point, which is how per-worker histograms combine.
+    #[test]
+    fn merge_equals_bulk_for_any_split(
+        samples in proptest::collection::vec(0u64..5_000_000, 2..300),
+        split_sel in 0usize..10_000,
+    ) {
+        let split = split_sel % samples.len();
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for &s in &samples[..split] {
+            left.record(s);
+        }
+        for &s in &samples[split..] {
+            right.record(s);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, whole);
+    }
+}

@@ -13,6 +13,7 @@ pub use rws_domain as domain;
 pub use rws_engine as engine;
 pub use rws_github as github;
 pub use rws_html as html;
+pub use rws_load as load;
 pub use rws_model as model;
 pub use rws_net as net;
 pub use rws_stats as stats;
@@ -31,5 +32,6 @@ mod tests {
         let _ = crate::corpus::CorpusConfig::default();
         let _ = crate::analysis::ScenarioConfig::default();
         let _ = crate::engine::EngineContext::embedded();
+        let _ = crate::load::LoadScale::smoke();
     }
 }
