@@ -226,6 +226,7 @@ fn bench_validation_checks(c: &mut Criterion) {
                 check_well_known: false,
                 check_service_robots: false,
                 check_rationales: false,
+                recheck_transient: false,
             },
         ),
         (
@@ -235,6 +236,7 @@ fn bench_validation_checks(c: &mut Criterion) {
                 check_well_known: false,
                 check_service_robots: false,
                 check_rationales: true,
+                recheck_transient: false,
             },
         ),
         (
@@ -244,6 +246,7 @@ fn bench_validation_checks(c: &mut Criterion) {
                 check_well_known: true,
                 check_service_robots: false,
                 check_rationales: false,
+                recheck_transient: false,
             },
         ),
         ("full", ValidatorConfig::default()),

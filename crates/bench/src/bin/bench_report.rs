@@ -21,7 +21,9 @@ use rws_html::similarity::{
     html_similarity_naive, DocumentProfile, ProfileScratch, SimilarityWeights,
 };
 use rws_html::{text_content, tokenize, Tokens, TokensFind};
-use rws_load::{LoadEngine, LoadScale, LoadTarget};
+use rws_load::{
+    FaultPlan, FaultScale, FetchSession, LoadEngine, LoadScale, LoadTarget, RetryPolicy,
+};
 use rws_stats::rng::Xoshiro256StarStar;
 use rws_survey::{PairGenerator, SurveyRunner, SurveyScale};
 use serde_json::{json, Map, Value};
@@ -794,7 +796,7 @@ fn main() {
     // degenerates to ~1.0 like every pooled kernel in this trajectory.
     const LOAD_SEED: u64 = 0x4C4F_4144; // "LOAD"
     let load_scale = LoadScale::smoke().times(50);
-    let load_engine = LoadEngine::new(load_target, load_scale);
+    let load_engine = LoadEngine::new(load_target.clone(), load_scale);
     let load_ctx = EngineContext::new();
     let load_sequential_ctx = load_ctx.sequential_twin();
     let load_report = load_engine.run_on(LOAD_SEED, &load_ctx);
@@ -857,6 +859,117 @@ fn main() {
         json!(load_report == load_replay),
     );
 
+    // --- fault storm: pooled replay under deterministic bad weather --------
+    // The same client model with a quarter of all (host, window) cells
+    // faulting — refusals, latency spikes past the deadline, 5xx bursts,
+    // truncated bodies, redirect storms — and the standard four-attempt
+    // retry ladder with derived-stream jitter. The pooled report must equal
+    // the sequential replay oracle field for field *including* every
+    // resilience aggregate, and the storm must actually exercise recovery.
+    const FAULT_SEED: u64 = 0x4641_554C; // "FAUL"
+    let storm_target = load_target
+        .clone()
+        .with_faults(FaultPlan::new(FAULT_SEED, FaultScale::storm()))
+        .with_retry(RetryPolicy::standard());
+    let storm_engine = LoadEngine::new(storm_target.clone(), LoadScale::smoke().times(8));
+    let storm_report = storm_engine.run_on(LOAD_SEED, &load_ctx);
+    assert!(
+        storm_report.retries > 0,
+        "the bench storm must exercise the retry path"
+    );
+    assert!(
+        storm_report.retry_successes > 0,
+        "the bench storm must recover some degraded traffic"
+    );
+    let storm_replay = storm_engine.replay_sequential(LOAD_SEED);
+    let fault_storm_ns = measure(|| {
+        black_box(storm_engine.run_on(LOAD_SEED, &load_ctx));
+    });
+    kernels.insert("fault_storm_replay".into(), json!(fault_storm_ns));
+
+    // retry_recovery: 64 retrying GETs per op through the storm-injected
+    // fetcher with a fresh session each op, so every op replays the same
+    // fault schedule (ordinals restart at zero) — attempts, backoff and
+    // degraded recoveries included in the measured work.
+    let storm_fetcher = storm_target.fetcher();
+    let retry_recovery_ns = measure(|| {
+        let mut session = FetchSession::new(FAULT_SEED, "bench-retry-recovery");
+        let mut attempts = 0u64;
+        for _ in 0..4 {
+            for url in &kernel_urls {
+                let outcome = storm_fetcher.get_with(url, &mut session);
+                attempts += u64::from(outcome.attempts);
+            }
+        }
+        black_box(attempts);
+    });
+    kernels.insert("retry_recovery_64_get".into(), json!(retry_recovery_ns));
+
+    // injector_disabled_overhead: the identical 64-GET loop through the
+    // session-aware entry point on a fetcher with *no* injector installed.
+    // The fault layer costs one Option match per hop when disabled, so this
+    // should sit on top of `fetcher_unlogged_64_get` (ratio ~1.0; emitted,
+    // not asserted — wall-clock noise on shared hosts).
+    let injector_disabled_ns = measure(|| {
+        let fetcher = load_target.fetcher();
+        let mut session = FetchSession::new(FAULT_SEED, "bench-injector-disabled");
+        let mut total = 0u64;
+        for _ in 0..4 {
+            for url in &kernel_urls {
+                if let Ok(resp) = fetcher.get_with(url, &mut session).into_result() {
+                    total += resp.latency_ms;
+                }
+            }
+        }
+        black_box((total, fetcher.requests_issued()));
+    });
+    kernels.insert(
+        "injector_disabled_overhead_64_get".into(),
+        json!(injector_disabled_ns),
+    );
+    speedups.insert(
+        "injector_disabled_vs_unlogged".into(),
+        json!(injector_disabled_ns / fetcher_unlogged_ns),
+    );
+
+    let mut storm_errors = Map::new();
+    for (class, count) in storm_report.errors.iter() {
+        storm_errors.insert(class.to_string(), json!(count));
+    }
+    let mut resilience = Map::new();
+    resilience.insert("fault_seed".into(), json!(FAULT_SEED));
+    resilience.insert("run_seed".into(), json!(LOAD_SEED));
+    resilience.insert("requests".into(), json!(storm_report.fetch_calls));
+    resilience.insert("retries".into(), json!(storm_report.retries));
+    resilience.insert(
+        "retry_successes".into(),
+        json!(storm_report.retry_successes),
+    );
+    resilience.insert("retry_failures".into(), json!(storm_report.retry_failures));
+    resilience.insert(
+        "retry_success_rate".into(),
+        json!(storm_report.retry_success_rate()),
+    );
+    resilience.insert("availability".into(), json!(storm_report.availability()));
+    resilience.insert(
+        "backoff_ms_total".into(),
+        json!(storm_report.backoff_ms_total),
+    );
+    resilience.insert(
+        "time_to_first_success_p50_ms".into(),
+        json!(storm_report.time_to_first_success.p50()),
+    );
+    resilience.insert(
+        "time_to_first_success_p99_ms".into(),
+        json!(storm_report.time_to_first_success.p99()),
+    );
+    resilience.insert("status_5xx".into(), json!(storm_report.status_5xx));
+    resilience.insert("errors".into(), Value::Object(storm_errors));
+    resilience.insert(
+        "pooled_equals_sequential".into(),
+        json!(storm_report == storm_replay),
+    );
+
     let mut resolver_cache = Map::new();
     resolver_cache.insert("hits".into(), json!(resolver_stats.hits));
     resolver_cache.insert("misses".into(), json!(resolver_stats.misses));
@@ -885,6 +998,7 @@ fn main() {
         "resolver_cache": Value::Object(resolver_cache),
         "engine": Value::Object(engine),
         "load": Value::Object(load_map),
+        "resilience": Value::Object(resilience),
     });
     let path = format!("BENCH_{index}.json");
     let text = serde_json::to_string_pretty(&report).expect("serialisable");

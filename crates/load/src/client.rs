@@ -22,7 +22,7 @@ use crate::scale::LoadScale;
 use crate::target::LoadTarget;
 use rws_browser::{AccessRequest, StorageAccessPolicy, VendorPolicy};
 use rws_domain::{DomainName, SiteResolver};
-use rws_net::{well_known_path, Fetcher, Response, Url};
+use rws_net::{well_known_path, FetchOutcome, FetchSession, Fetcher, NetError, Response, Url};
 use rws_stats::{Rng, Xoshiro256StarStar};
 
 /// Simulated keep-alive window: a connection idle longer than this is
@@ -63,6 +63,11 @@ pub struct ClientState {
     visited_sites: Vec<DomainName>,
     /// Open simulated connections: `(origin host, last use)`.
     connections: Vec<(DomainName, u64)>,
+    /// The client's fetch session: per-host request ordinals for the fault
+    /// plan, the rng stream backoff jitter draws from, and the retry
+    /// budget. Derived from `(seed, id)` on its own label so it never
+    /// perturbs the main behaviour stream above.
+    session: FetchSession,
 }
 
 impl ClientState {
@@ -78,6 +83,7 @@ impl ClientState {
             visits_left: visits.min(u32::MAX as u64) as u32,
             visited_sites: Vec::new(),
             connections: Vec::new(),
+            session: FetchSession::new(seed, &format!("load-client-{id}-fetch")),
         }
     }
 
@@ -107,27 +113,20 @@ impl ClientState {
         let connect_cost = self.connect(&host, report);
 
         report.fetch_calls += 1;
-        let result = if head {
+        let outcome = if head {
             report.heads += 1;
-            fetcher.head(&url)
+            fetcher.head_with(&url, &mut self.session)
         } else {
             report.gets += 1;
-            fetcher.get(&url)
+            fetcher.get_with(&url, &mut self.session)
         };
-        match result {
-            Ok(resp) => {
-                self.observe(&resp, connect_cost, report);
-                if resp.status.is_success() {
-                    // The landing host (after redirects) is the page the
-                    // user is on; decide partitioning there.
-                    let top_site = resolver.site_or_self(&resp.url.host);
-                    self.decide_partitioning(&top_site, target, resolver, report);
-                    self.note_visited(top_site);
-                }
-            }
-            Err(err) => {
-                report.errors.record(err.class());
-                self.clock += ERROR_COST_MS;
+        if let Some(resp) = self.note_outcome(&host, connect_cost, outcome, report) {
+            if resp.status.is_success() {
+                // The landing host (after redirects) is the page the
+                // user is on; decide partitioning there.
+                let top_site = resolver.site_or_self(&resp.url.host);
+                self.decide_partitioning(&top_site, target, resolver, report);
+                self.note_visited(top_site);
             }
         }
 
@@ -158,13 +157,69 @@ impl ClientState {
         report.well_known_probes += 1;
         report.fetch_calls += 1;
         report.gets += 1;
-        match fetcher.get(&url) {
-            Ok(resp) => self.observe(&resp, connect_cost, report),
+        let outcome = fetcher.get_with(&url, &mut self.session);
+        self.note_outcome(&site, connect_cost, outcome, report);
+    }
+
+    /// Fold a fetch outcome into the report and the clock: retry and
+    /// backoff accounting, error tallies, and — on transport-level failure
+    /// — eviction of the (now known dead) simulated connection, so a host
+    /// going offline mid-run cannot keep serving through a stale keep-alive
+    /// slot. Returns the response, if one arrived.
+    fn note_outcome(
+        &mut self,
+        origin: &DomainName,
+        connect_cost: u64,
+        outcome: FetchOutcome,
+        report: &mut LoadReport,
+    ) -> Option<Response> {
+        let retries = u64::from(outcome.retries());
+        report.retries += retries;
+        report.backoff_ms_total += outcome.backoff_ms;
+        // Each failed attempt costs error-handling time, and the backoff
+        // between attempts passes on the client's simulated clock.
+        self.clock += retries * ERROR_COST_MS + outcome.backoff_ms;
+        match outcome.result {
+            Ok(resp) => {
+                if retries > 0 {
+                    report.retry_successes += 1;
+                    report.time_to_first_success.record(
+                        retries * ERROR_COST_MS
+                            + outcome.backoff_ms
+                            + connect_cost
+                            + resp.latency_ms,
+                    );
+                }
+                self.observe(&resp, connect_cost, report);
+                Some(resp)
+            }
             Err(err) => {
+                if retries > 0 {
+                    report.retry_failures += 1;
+                }
+                if matches!(
+                    err,
+                    NetError::ConnectionRefused { .. }
+                        | NetError::Timeout { .. }
+                        | NetError::HostNotFound { .. }
+                ) {
+                    self.drop_connection(origin);
+                }
                 report.errors.record(err.class());
                 self.clock += ERROR_COST_MS;
+                None
             }
         }
+    }
+
+    /// Close the simulated connection to `origin`, if one is open.
+    fn drop_connection(&mut self, origin: &DomainName) {
+        self.connections.retain(|(h, _)| h != origin);
+    }
+
+    /// Origins with an open simulated connection (test observability).
+    pub fn open_connections(&self) -> Vec<DomainName> {
+        self.connections.iter().map(|(h, _)| h.clone()).collect()
     }
 
     /// Tally a response and advance the simulated clock by its latency.

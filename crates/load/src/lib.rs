@@ -34,6 +34,19 @@
 //! *identical* [`LoadReport`]s field for field — property-tested, like
 //! every other pooled subsystem in this workspace.
 //!
+//! # Resilience
+//!
+//! A target can carry transient weather: [`LoadTarget::with_faults`]
+//! installs a deterministic [`FaultPlan`] (refusals, latency spikes past
+//! the deadline, 5xx bursts, truncated bodies, redirect storms) and
+//! [`LoadTarget::with_retry`] gives clients a [`RetryPolicy`] whose
+//! backoff passes on the *simulated* clock with jitter from each client's
+//! derived rng stream. The report then aggregates retries, retry-success
+//! rate, a time-to-first-success histogram and availability — and the
+//! pooled ≡ sequential ≡ replay equality holds under a full fault storm,
+//! because fault schedules are pure `(seed, host, per-client ordinal)`
+//! functions with no shared state.
+//!
 //! ```
 //! use rws_corpus::{CorpusConfig, CorpusGenerator};
 //! use rws_load::{LoadEngine, LoadScale, LoadTarget};
@@ -56,3 +69,7 @@ pub use engine::LoadEngine;
 pub use report::{LoadReport, VendorTally};
 pub use scale::LoadScale;
 pub use target::LoadTarget;
+
+// Resilience knobs, re-exported so load consumers (tests, benches) can
+// configure weather without depending on rws-net directly.
+pub use rws_net::{FaultPlan, FaultScale, FetchSession, RetryPolicy};

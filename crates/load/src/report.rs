@@ -95,6 +95,19 @@ pub struct LoadReport {
     pub status_5xx: u64,
     /// Failed fetches tallied by [`NetError::class`](rws_net::NetError::class).
     pub errors: CategoryCounter,
+    /// Retry attempts made beyond each fetch call's first attempt.
+    pub retries: u64,
+    /// Fetch calls that succeeded only after retrying (degraded successes).
+    pub retry_successes: u64,
+    /// Fetch calls that still failed after exhausting their retries.
+    pub retry_failures: u64,
+    /// Total simulated backoff spent between retry attempts, in
+    /// milliseconds.
+    pub backoff_ms_total: u64,
+    /// Time-to-first-success distribution for fetch calls that needed
+    /// retries: error costs + backoff + connection setup + final response
+    /// latency, in simulated milliseconds.
+    pub time_to_first_success: LatencyHistogram,
     /// Simulated connections opened (cold or expired keep-alive).
     pub connections_opened: u64,
     /// Simulated connections reused within the keep-alive window.
@@ -139,6 +152,11 @@ impl LoadReport {
             status_4xx: 0,
             status_5xx: 0,
             errors: CategoryCounter::new(),
+            retries: 0,
+            retry_successes: 0,
+            retry_failures: 0,
+            backoff_ms_total: 0,
+            time_to_first_success: LatencyHistogram::new(),
             connections_opened: 0,
             connections_reused: 0,
             decisions: 0,
@@ -169,6 +187,12 @@ impl LoadReport {
         self.status_4xx += other.status_4xx;
         self.status_5xx += other.status_5xx;
         self.errors.merge(&other.errors);
+        self.retries += other.retries;
+        self.retry_successes += other.retry_successes;
+        self.retry_failures += other.retry_failures;
+        self.backoff_ms_total += other.backoff_ms_total;
+        self.time_to_first_success
+            .merge(&other.time_to_first_success);
         self.connections_opened += other.connections_opened;
         self.connections_reused += other.connections_reused;
         self.decisions += other.decisions;
@@ -206,6 +230,28 @@ impl LoadReport {
     pub fn responses(&self) -> u64 {
         self.status_2xx + self.status_4xx + self.status_5xx
     }
+
+    /// Of the fetch calls that needed retries, the fraction that recovered
+    /// (1.0 when no call retried — nothing failed to recover).
+    pub fn retry_success_rate(&self) -> f64 {
+        let retried = self.retry_successes + self.retry_failures;
+        if retried == 0 {
+            1.0
+        } else {
+            self.retry_successes as f64 / retried as f64
+        }
+    }
+
+    /// Fraction of fetch calls that ultimately produced a response
+    /// (1.0 when no calls were made) — the availability the client fleet
+    /// experienced under whatever weather the run injected.
+    pub fn availability(&self) -> f64 {
+        if self.fetch_calls == 0 {
+            1.0
+        } else {
+            self.responses() as f64 / self.fetch_calls as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,8 +286,18 @@ mod tests {
         b.sim_end_ms = 400;
         b.errors.record("timeout");
         b.vendors[0].record(PolicyVerdict::Prompt, true);
+        b.retries = 5;
+        b.retry_successes = 2;
+        b.retry_failures = 1;
+        b.backoff_ms_total = 620;
+        b.time_to_first_success.record(700);
         a.merge(&b);
         assert_eq!(a.fetch_calls, 7);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.retry_successes, 2);
+        assert_eq!(a.retry_failures, 1);
+        assert_eq!(a.backoff_ms_total, 620);
+        assert_eq!(a.time_to_first_success.count(), 1);
         assert_eq!(a.status_2xx, 2);
         assert_eq!(a.status_4xx, 1);
         assert_eq!(a.sim_start_ms, 50);
@@ -261,8 +317,29 @@ mod tests {
         r.fetch_calls = 10;
         r.latency.record(55);
         r.errors.record("connection-refused");
+        r.retries = 3;
+        r.retry_successes = 2;
+        r.backoff_ms_total = 150;
+        r.time_to_first_success.record(230);
         let json = serde_json::to_string(&r).unwrap();
         let back: LoadReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn resilience_rates_handle_empty_and_populated_reports() {
+        let mut r = LoadReport::new();
+        // Nothing retried, nothing fetched: both rates read as perfect.
+        assert_eq!(r.retry_success_rate(), 1.0);
+        assert_eq!(r.availability(), 1.0);
+        r.fetch_calls = 10;
+        r.status_2xx = 6;
+        r.status_5xx = 2;
+        r.errors.record("connection-refused");
+        r.errors.record("timeout");
+        r.retry_successes = 3;
+        r.retry_failures = 1;
+        assert_eq!(r.retry_success_rate(), 0.75);
+        assert_eq!(r.availability(), 0.8);
     }
 }

@@ -3,7 +3,10 @@
 use rws_corpus::Corpus;
 use rws_domain::DomainName;
 use rws_model::RwsList;
-use rws_net::{FetchPolicy, Fetcher, FrozenWeb, PageContent, SimulatedWeb, SiteHost};
+use rws_net::{
+    FaultInjector, FaultPlan, FetchPolicy, Fetcher, FrozenWeb, PageContent, RetryPolicy,
+    SimulatedWeb, SiteHost,
+};
 
 /// Number of vanity entry hosts registered per target (bounded by the
 /// host-universe size).
@@ -24,6 +27,10 @@ pub struct LoadTarget {
     list: RwsList,
     hosts: Vec<DomainName>,
     vanity: Vec<DomainName>,
+    /// Transient-fault weather for the run (none by default).
+    faults: Option<FaultPlan>,
+    /// Client retry posture (no retries by default).
+    retry: RetryPolicy,
 }
 
 impl LoadTarget {
@@ -65,7 +72,33 @@ impl LoadTarget {
             list,
             hosts,
             vanity,
+            faults: None,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Inject deterministic transient faults into every fetch the run
+    /// makes. The plan is pure `(seed, host, ordinal)` state, so pooled and
+    /// sequential replays see identical weather.
+    pub fn with_faults(mut self, plan: FaultPlan) -> LoadTarget {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Give the run's clients a retry posture (default: no retries).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> LoadTarget {
+        self.retry = retry;
+        self
+    }
+
+    /// The fault plan in force, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults
+    }
+
+    /// The retry policy clients run with.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The browsable host universe (excludes vanity entry hosts), in
@@ -93,10 +126,15 @@ impl LoadTarget {
     /// atomic request accounting), its own counter family — so each run's
     /// `wire_requests` starts at zero.
     pub fn fetcher(&self) -> Fetcher {
-        Fetcher::with_policy(
+        let mut fetcher = Fetcher::with_policy(
             SimulatedWeb::from_frozen(self.frozen.clone()),
             FetchPolicy::default(),
-        )
+        );
+        fetcher.set_retry(self.retry);
+        if let Some(plan) = self.faults {
+            fetcher.set_fault_injector(Some(FaultInjector::new(plan)));
+        }
+        fetcher
     }
 }
 

@@ -1,12 +1,14 @@
 //! The fetcher client: policy-driven retrieval from the simulated web.
 
 use crate::error::NetError;
+use crate::fault::{FaultInjector, FaultPlan, FetchSession};
 use crate::headers::HeaderMap;
 use crate::message::{Method, Request, Response, StatusCode};
 use crate::url::Url;
 use crate::web::{PageContent, ServedPage, SimulatedWeb};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use rws_stats::Rng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -42,6 +44,99 @@ impl FetchPolicy {
             require_https: true,
             deadline_ms: 10_000,
         }
+    }
+}
+
+/// How (and whether) a fetcher retries retryable failures.
+///
+/// Backoff is *simulated*: the milliseconds accumulate on the
+/// [`FetchOutcome`] instead of being slept, and the jitter is drawn from
+/// the caller's [`FetchSession`] rng stream — never from wall clock — so
+/// retry schedules replay identically, pooled or sequential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included); 1 disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated milliseconds.
+    pub base_backoff_ms: u64,
+    /// Cap on the exponential backoff, in simulated milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every request gets exactly one attempt. This is the
+    /// default, so plain fetchers behave exactly as they did before retry
+    /// existed.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+        }
+    }
+
+    /// The standard production posture: up to 4 attempts, exponential
+    /// backoff 50ms → 3.2s with equal jitter.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 50,
+            max_backoff_ms: 3_200,
+        }
+    }
+
+    /// Simulated backoff before the retry that follows `failed_attempts`
+    /// failures (so the first retry passes 1). "Equal jitter": half the
+    /// capped exponential is kept, the other half is drawn from `rng` — a
+    /// derived stream, to keep replays deterministic.
+    pub fn backoff_for(&self, failed_attempts: u32, rng: &mut impl Rng) -> u64 {
+        let shift = failed_attempts.saturating_sub(1).min(16);
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ms.max(self.base_backoff_ms));
+        if exp <= 1 {
+            return exp;
+        }
+        exp / 2 + rng.range_u64(0, exp / 2 + 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// What a retrying fetch produced, beyond the result itself: how many
+/// attempts it took and how much simulated backoff accumulated. A result
+/// that needed more than one attempt is *degraded* — correct, but obtained
+/// through transient failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchOutcome<T = Response> {
+    /// The final result (of the last attempt).
+    pub result: Result<T, NetError>,
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Total simulated backoff spent between attempts, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl<T> FetchOutcome<T> {
+    /// Retries beyond the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+
+    /// True when the fetch succeeded but only after retrying — the
+    /// graceful-degradation signal consumers aggregate.
+    pub fn is_degraded(&self) -> bool {
+        self.result.is_ok() && self.attempts > 1
+    }
+
+    /// Unwrap into the plain result, discarding the retry accounting.
+    pub fn into_result(self) -> Result<T, NetError> {
+        self.result
     }
 }
 
@@ -144,6 +239,12 @@ pub struct Fetcher {
     web: SimulatedWeb,
     policy: FetchPolicy,
     sink: RequestSink,
+    /// Shared by every clone; injection additionally requires the caller to
+    /// pass a [`FetchSession`] (the session-aware entry points), so plain
+    /// `get`/`head` stay on the zero-overhead path even when an injector is
+    /// installed.
+    faults: Option<Arc<FaultInjector>>,
+    retry: RetryPolicy,
 }
 
 impl Clone for Fetcher {
@@ -152,6 +253,8 @@ impl Clone for Fetcher {
             web: self.web.clone(),
             policy: self.policy,
             sink: self.sink.fork(),
+            faults: self.faults.clone(),
+            retry: self.retry,
         }
     }
 }
@@ -168,7 +271,43 @@ impl Fetcher {
             web,
             policy,
             sink: RequestSink::fresh_counting(),
+            faults: None,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Install (or clear) a fault injector, shared with every clone made
+    /// afterwards. Faults only fire on session-aware fetches
+    /// ([`get_with`](Fetcher::get_with) and friends).
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector.map(Arc::new);
+    }
+
+    /// Builder form of [`set_fault_injector`](Fetcher::set_fault_injector).
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Fetcher {
+        self.set_fault_injector(Some(injector));
+        self
+    }
+
+    /// Replace the retry policy used by the retrying entry points.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Builder form of [`set_retry`](Fetcher::set_retry).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Fetcher {
+        self.set_retry(retry);
+        self
+    }
+
+    /// The installed injector's plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.as_ref().map(|i| i.plan())
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Switch this fetcher (and every clone made from it afterwards) to
@@ -209,15 +348,16 @@ impl Fetcher {
         }
     }
 
-    /// GET a URL, following redirects per policy.
+    /// GET a URL, following redirects per policy. Session-less: never
+    /// faulted, never retried — the zero-overhead path.
     pub fn get(&self, url: &Url) -> Result<Response, NetError> {
-        self.execute(Method::Get, url)
+        self.execute(Method::Get, url, None)
     }
 
     /// HEAD a URL, following redirects per policy. The response body is
     /// always empty but headers and status are as GET would produce.
     pub fn head(&self, url: &Url) -> Result<Response, NetError> {
-        self.execute(Method::Head, url)
+        self.execute(Method::Head, url, None)
     }
 
     /// GET a URL and require a success status: any non-2xx answer becomes
@@ -240,7 +380,93 @@ impl Fetcher {
         self.get_success(url)?.body_json()
     }
 
-    fn execute(&self, method: Method, start: &Url) -> Result<Response, NetError> {
+    /// A single session-aware GET attempt: the session's per-host ordinals
+    /// advance, and the installed fault injector (if any) may fault it.
+    pub fn get_once(&self, url: &Url, session: &mut FetchSession) -> Result<Response, NetError> {
+        self.execute(Method::Get, url, Some(session))
+    }
+
+    /// A single session-aware HEAD attempt.
+    pub fn head_once(&self, url: &Url, session: &mut FetchSession) -> Result<Response, NetError> {
+        self.execute(Method::Head, url, Some(session))
+    }
+
+    /// A single session-aware success-requiring GET attempt: 5xx (and any
+    /// other non-2xx) surfaces as a retryable-or-not
+    /// [`NetError::HttpStatus`], which is what lets the retrying path
+    /// re-check transient server errors. (Plain browsing clients instead
+    /// record a 5xx as a served response — browsers do not auto-retry
+    /// pages — so they use [`get_with`](Fetcher::get_with).)
+    pub fn get_success_once(
+        &self,
+        url: &Url,
+        session: &mut FetchSession,
+    ) -> Result<Response, NetError> {
+        let resp = self.get_once(url, session)?;
+        if !resp.status.is_success() {
+            return Err(NetError::HttpStatus {
+                url: resp.url.to_string(),
+                status: resp.status,
+            });
+        }
+        Ok(resp)
+    }
+
+    /// Run `attempt` under this fetcher's [`RetryPolicy`]: retry while the
+    /// error [is retryable](NetError::is_retryable), attempts remain and
+    /// the session's retry budget holds, accumulating simulated backoff
+    /// (with jitter from the session's rng stream) into the returned
+    /// [`FetchOutcome`].
+    pub fn retrying<T>(
+        &self,
+        session: &mut FetchSession,
+        mut attempt: impl FnMut(&Fetcher, &mut FetchSession) -> Result<T, NetError>,
+    ) -> FetchOutcome<T> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut backoff_ms = 0u64;
+        loop {
+            attempts += 1;
+            match attempt(self, session) {
+                Ok(value) => {
+                    return FetchOutcome {
+                        result: Ok(value),
+                        attempts,
+                        backoff_ms,
+                    }
+                }
+                Err(err) => {
+                    if attempts >= max_attempts || !err.is_retryable() || !session.try_spend_retry()
+                    {
+                        return FetchOutcome {
+                            result: Err(err),
+                            attempts,
+                            backoff_ms,
+                        };
+                    }
+                    backoff_ms += self.retry.backoff_for(attempts, session.rng_mut());
+                }
+            }
+        }
+    }
+
+    /// GET with faults and retries: the session-aware, policy-retrying
+    /// counterpart of [`get`](Fetcher::get).
+    pub fn get_with(&self, url: &Url, session: &mut FetchSession) -> FetchOutcome {
+        self.retrying(session, |fetcher, session| fetcher.get_once(url, session))
+    }
+
+    /// HEAD with faults and retries.
+    pub fn head_with(&self, url: &Url, session: &mut FetchSession) -> FetchOutcome {
+        self.retrying(session, |fetcher, session| fetcher.head_once(url, session))
+    }
+
+    fn execute(
+        &self,
+        method: Method,
+        start: &Url,
+        mut session: Option<&mut FetchSession>,
+    ) -> Result<Response, NetError> {
         let mut current = start.clone();
         let mut total_latency: u64 = 0;
         let mut redirects = 0usize;
@@ -253,7 +479,16 @@ impl Fetcher {
             }
             self.sink.note(method, &current);
 
-            let served = self.web.serve(&current);
+            // The fault overlay fires only when an injector is installed
+            // AND the caller supplied a session (the ordinal source): one
+            // `Option` match per hop otherwise — plain fetches pay nothing.
+            let served = match (&self.faults, session.as_deref_mut()) {
+                (Some(injector), Some(session)) => {
+                    let ordinal = session.next_ordinal(&current.host);
+                    injector.apply(&current, ordinal, self.web.serve(&current))
+                }
+                _ => self.web.serve(&current),
+            };
             // `body` is a refcount bump of the interned page, never a copy.
             let (status, mut headers, body, latency) = match served {
                 ServedPage::NoSuchHost => {
@@ -327,10 +562,15 @@ impl Fetcher {
 
             total_latency += latency;
             if total_latency > self.policy.deadline_ms {
+                // The deadline covers the whole chain: attribute the timeout
+                // to the chain (start + hops followed), not just the hop it
+                // happened to die on.
                 return Err(NetError::Timeout {
+                    start: start.to_string(),
                     url: current.to_string(),
                     latency_ms: total_latency,
                     deadline_ms: self.policy.deadline_ms,
+                    redirects_followed: redirects,
                 });
             }
 

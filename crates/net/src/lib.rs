@@ -16,7 +16,12 @@
 //!   are interned ([`PageBody`]) and [`SimulatedWeb::freeze`] snapshots the
 //!   registry into a lock-free, borrow-friendly [`FrozenWeb`];
 //! * [`Fetcher`] — a client with redirect following, HTTPS enforcement and
-//!   a request log, which is what the validation bot and corpus crawler use.
+//!   a request log, which is what the validation bot and corpus crawler use;
+//! * [`FaultPlan`]/[`FaultInjector`] — deterministic transient-fault
+//!   injection (refusals, latency spikes, 5xx bursts, truncated bodies,
+//!   redirect storms) derived purely from `(seed, host, request ordinal)`,
+//!   paired with a [`RetryPolicy`] whose backoff jitter comes from a
+//!   derived rng stream, so fault-and-retry schedules replay identically.
 //!
 //! Everything is synchronous and deterministic: "latency" is simulated time
 //! carried on the response, not wall-clock sleeping, so experiments are
@@ -37,6 +42,7 @@
 //! ```
 
 pub mod error;
+pub mod fault;
 pub mod fetcher;
 pub mod headers;
 pub mod message;
@@ -45,7 +51,8 @@ pub mod web;
 pub mod well_known;
 
 pub use error::NetError;
-pub use fetcher::{FetchPolicy, Fetcher};
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultScale, FetchSession};
+pub use fetcher::{FetchOutcome, FetchPolicy, Fetcher, RetryPolicy};
 pub use headers::HeaderMap;
 pub use message::{Method, Request, Response, StatusCode};
 pub use url::Url;

@@ -48,18 +48,53 @@ pub struct PageBody {
 }
 
 impl PageBody {
+    /// The single intern point: every constructor funnels through here, so
+    /// this is the one place the UTF-8 invariant behind
+    /// [`as_str`](PageBody::as_str) is established.
+    fn intern(bytes: Bytes) -> PageBody {
+        debug_assert!(
+            std::str::from_utf8(&bytes).is_ok(),
+            "PageBody buffers must be valid UTF-8"
+        );
+        PageBody { bytes }
+    }
+
     /// Intern a body. The single copy of the page's lifetime happens here.
     pub fn new<S: Into<String>>(text: S) -> PageBody {
-        PageBody {
-            bytes: Bytes::from(text.into()),
-        }
+        PageBody::intern(Bytes::from(text.into()))
+    }
+
+    /// Intern raw bytes after checking they are UTF-8 — the constructor to
+    /// use for buffers that did not come from `str`/`String`. Returns
+    /// `None` (rather than corrupting [`as_str`](PageBody::as_str)) when
+    /// the bytes are not valid UTF-8.
+    pub fn from_utf8(bytes: Bytes) -> Option<PageBody> {
+        std::str::from_utf8(&bytes).ok()?;
+        Some(PageBody::intern(bytes))
     }
 
     /// Borrow the body as text.
     pub fn as_str(&self) -> &str {
-        // Safety: every constructor takes `str`/`String`, so the buffer is
-        // valid UTF-8 by construction.
+        // Safety: every constructor funnels through `intern`, whose callers
+        // supply `str`/`String` data or (for `from_utf8`) pre-validate, so
+        // the buffer is valid UTF-8 by construction.
         unsafe { std::str::from_utf8_unchecked(&self.bytes) }
+    }
+
+    /// A copy of this body cut to at most `max_len` bytes, snapped *down*
+    /// to a char boundary so the result remains valid UTF-8 (the fault
+    /// injector's truncated-payload fault). Bodies already within the limit
+    /// are shared, not copied.
+    pub fn truncated(&self, max_len: usize) -> PageBody {
+        if max_len >= self.len() {
+            return self.clone();
+        }
+        let s = self.as_str();
+        let mut cut = max_len;
+        while cut > 0 && !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        PageBody::from(&s[..cut])
     }
 
     /// Borrow the raw bytes.
@@ -109,9 +144,7 @@ impl From<&str> for PageBody {
     /// `Into<String>` would copy twice: once into the `String`, once into
     /// `Bytes`).
     fn from(s: &str) -> PageBody {
-        PageBody {
-            bytes: Bytes::copy_from_slice(s.as_bytes()),
-        }
+        PageBody::intern(Bytes::copy_from_slice(s.as_bytes()))
     }
 }
 
@@ -887,5 +920,35 @@ mod tests {
         assert_eq!(clone.as_bytes().as_ptr(), body.as_bytes().as_ptr());
         // bytes() shares it too.
         assert_eq!(body.bytes().as_ptr(), body.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn page_body_rejects_non_utf8_bytes() {
+        // The only constructor that can admit raw bytes checks them; the
+        // `str`/`String` constructors are valid by their argument types.
+        assert!(PageBody::from_utf8(Bytes::from_static(b"\xFF\xFEbad")).is_none());
+        // A lone continuation byte is also rejected.
+        assert!(PageBody::from_utf8(Bytes::from_static(b"ok \x80")).is_none());
+        let ok = PageBody::from_utf8(Bytes::from_static("héllo".as_bytes())).unwrap();
+        assert_eq!(ok.as_str(), "héllo");
+    }
+
+    #[test]
+    fn truncated_snaps_to_char_boundaries() {
+        let body = PageBody::from("héllo"); // 'é' spans bytes 1..3
+        assert_eq!(body.truncated(2).as_str(), "h"); // mid-'é' snaps down
+        assert_eq!(body.truncated(3).as_str(), "hé");
+        assert_eq!(body.truncated(0).as_str(), "");
+        // At or past the length: shared, not copied.
+        let full = body.truncated(body.len());
+        assert_eq!(full.as_bytes().as_ptr(), body.as_bytes().as_ptr());
+        let past = body.truncated(body.len() + 10);
+        assert_eq!(past.as_str(), "héllo");
+        // The result is always valid UTF-8 at every cut point.
+        for cut in 0..=body.len() {
+            let t = body.truncated(cut);
+            assert!(std::str::from_utf8(t.as_bytes()).is_ok());
+            assert!(t.len() <= cut);
+        }
     }
 }

@@ -1,0 +1,263 @@
+//! Integration tests for fault injection, retrying fetches and the
+//! redirect-chain timeout attribution fix.
+
+use proptest::prelude::*;
+use rws_domain::DomainName;
+use rws_net::{
+    Fault, FaultInjector, FaultPlan, FaultScale, FetchPolicy, FetchSession, Fetcher, LatencyModel,
+    NetError, PageContent, RetryPolicy, SimulatedWeb, SiteHost, Url,
+};
+
+fn dn(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+/// A web where `a.com` redirects to `b.com`, and both hops are slow enough
+/// that the chain — but no single hop — blows the deadline.
+fn slow_redirect_web() -> SimulatedWeb {
+    let mut web = SimulatedWeb::new();
+    let mut a = SiteHost::new("a.com").unwrap();
+    a.add_content(
+        "/start",
+        PageContent::Redirect {
+            location: "https://b.com/landing".to_string(),
+            permanent: false,
+        },
+    );
+    a.set_latency(LatencyModel {
+        base_ms: 6_000,
+        per_kb_ms: 0,
+    });
+    web.register(a);
+    let mut b = SiteHost::new("b.com").unwrap();
+    b.add_page("/landing", "made it");
+    b.set_latency(LatencyModel {
+        base_ms: 6_000,
+        per_kb_ms: 0,
+    });
+    web.register(b);
+    web
+}
+
+#[test]
+fn mid_chain_timeout_is_attributed_to_the_chain_not_the_final_hop() {
+    let policy = FetchPolicy {
+        deadline_ms: 10_000, // each hop costs 6s: hop 2 crosses at 12s
+        ..FetchPolicy::default()
+    };
+    let fetcher = Fetcher::with_policy(slow_redirect_web(), policy);
+    let err = fetcher
+        .get(&Url::parse("https://a.com/start").unwrap())
+        .unwrap_err();
+    match err {
+        NetError::Timeout {
+            start,
+            url,
+            latency_ms,
+            deadline_ms,
+            redirects_followed,
+        } => {
+            // The chain entry and the fatal hop are both carried — a
+            // mid-chain timeout is no longer misread as b.com alone being
+            // slow.
+            assert!(start.contains("a.com/start"), "start was {start}");
+            assert!(url.contains("b.com/landing"), "fatal hop was {url}");
+            assert_eq!(latency_ms, 12_000);
+            assert_eq!(deadline_ms, 10_000);
+            assert_eq!(redirects_followed, 1);
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+/// A single live host serving one page, with default (fast) latency.
+fn one_host_web(host: &str) -> SimulatedWeb {
+    let mut web = SimulatedWeb::new();
+    let mut site = SiteHost::new(host).unwrap();
+    site.add_page("/", "<html>alive</html>");
+    web.register(site);
+    web
+}
+
+/// Search seeds for a plan whose first window on `host` is a connection
+/// refusal and whose next few windows are clear — a deterministic
+/// "transient outage that recovers" schedule, robust to hash details.
+fn refuse_then_recover_plan(host: &DomainName, scale: FaultScale) -> FaultPlan {
+    for seed in 0..100_000u64 {
+        let plan = FaultPlan::new(seed, scale);
+        let burst = scale.burst_len;
+        let first_retry = plan.fault_at(host, burst); // ordinal after the burst
+        if plan.fault_at(host, 0) == Some(Fault::Refuse) && first_retry.is_none() {
+            return plan;
+        }
+    }
+    panic!("no refuse-then-recover seed found for {host}");
+}
+
+#[test]
+fn retry_recovers_from_a_transient_refusal() {
+    let host = dn("flaky.example");
+    let scale = FaultScale {
+        burst_len: 1, // one-request bursts: the retry lands in a new window
+        ..FaultScale::calm()
+    };
+    let plan = refuse_then_recover_plan(&host, scale);
+    let fetcher = Fetcher::new(one_host_web("flaky.example"))
+        .with_fault_injector(FaultInjector::new(plan))
+        .with_retry(RetryPolicy::standard());
+    let mut session = FetchSession::new(1, "recovery");
+    let outcome = fetcher.get_with(&Url::parse("https://flaky.example/").unwrap(), &mut session);
+    let resp = outcome.result.as_ref().expect("retry should recover");
+    assert!(resp.status.is_success());
+    assert!(outcome.attempts > 1, "first attempt must have been refused");
+    assert!(outcome.backoff_ms > 0, "backoff must have accumulated");
+    assert!(outcome.is_degraded());
+    assert_eq!(outcome.retries(), outcome.attempts - 1);
+    assert_eq!(session.retries_spent(), outcome.retries());
+}
+
+#[test]
+fn zero_retry_budget_fails_on_first_attempt() {
+    let host = dn("flaky.example");
+    let scale = FaultScale {
+        burst_len: 1,
+        ..FaultScale::calm()
+    };
+    let plan = refuse_then_recover_plan(&host, scale);
+    let fetcher = Fetcher::new(one_host_web("flaky.example"))
+        .with_fault_injector(FaultInjector::new(plan))
+        .with_retry(RetryPolicy::standard());
+    let mut session = FetchSession::with_budget(1, "no-budget", 0);
+    let outcome = fetcher.get_with(&Url::parse("https://flaky.example/").unwrap(), &mut session);
+    assert!(matches!(
+        outcome.result,
+        Err(NetError::ConnectionRefused { .. })
+    ));
+    assert_eq!(outcome.attempts, 1);
+    assert_eq!(outcome.backoff_ms, 0);
+    assert!(!outcome.is_degraded());
+}
+
+#[test]
+fn non_retryable_errors_are_not_retried() {
+    // HTTPS policy violations are persistent: strict policy + http URL.
+    let fetcher = Fetcher::with_policy(one_host_web("site.example"), FetchPolicy::strict())
+        .with_retry(RetryPolicy::standard());
+    let mut session = FetchSession::new(1, "https");
+    let outcome = fetcher.get_with(&Url::parse("http://site.example/").unwrap(), &mut session);
+    assert!(matches!(
+        outcome.result,
+        Err(NetError::HttpsRequired { .. })
+    ));
+    assert_eq!(outcome.attempts, 1);
+    assert_eq!(session.retries_spent(), 0);
+}
+
+#[test]
+fn plain_get_ignores_the_installed_injector() {
+    // Fault everything — plain `get` (no session) must still pass through.
+    let plan = FaultPlan::new(0, FaultScale::storm().times(1000));
+    let fetcher =
+        Fetcher::new(one_host_web("site.example")).with_fault_injector(FaultInjector::new(plan));
+    let url = Url::parse("https://site.example/").unwrap();
+    for _ in 0..8 {
+        let resp = fetcher.get(&url).unwrap();
+        assert!(resp.status.is_success());
+    }
+}
+
+#[test]
+fn redirect_storm_fault_exhausts_the_redirect_limit() {
+    let host = dn("storm.example");
+    // Find a seed whose entire first few windows are RedirectStorm, so the
+    // whole chain stays inside the storm.
+    let scale = FaultScale {
+        fault_per_mille: 1000,
+        burst_len: 32,
+        spike_ms: 60_000,
+    };
+    let plan = (0..100_000u64)
+        .map(|seed| FaultPlan::new(seed, scale))
+        .find(|plan| plan.fault_at(&host, 0) == Some(Fault::RedirectStorm))
+        .expect("no redirect-storm seed found");
+    let fetcher = Fetcher::new(one_host_web("storm.example"))
+        .with_fault_injector(FaultInjector::new(plan))
+        .with_retry(RetryPolicy::none());
+    let mut session = FetchSession::new(1, "storm");
+    let outcome = fetcher.get_with(&Url::parse("https://storm.example/").unwrap(), &mut session);
+    assert!(matches!(
+        outcome.result,
+        Err(NetError::TooManyRedirects { .. })
+    ));
+}
+
+proptest! {
+    /// Two sessions with the same seed and label replay the same faulted,
+    /// retried request sequence field for field — the oracle-pair property
+    /// the whole injector design exists to guarantee.
+    #[test]
+    fn identical_sessions_replay_identical_fault_schedules(seed in 0u64..1_000_000) {
+        let mut web = SimulatedWeb::new();
+        for name in ["one.example", "two.example", "three.example"] {
+            let mut site = SiteHost::new(name).unwrap();
+            site.add_page("/", "<html>body body body body</html>");
+            site.add_json("/data.json", r#"{"k": "vvvvvvvvvvvvvv"}"#);
+            web.register(site);
+        }
+        let plan = FaultPlan::new(seed, FaultScale::storm());
+        let fetcher = Fetcher::new(web)
+            .with_fault_injector(FaultInjector::new(plan))
+            .with_retry(RetryPolicy::standard());
+
+        let urls: Vec<Url> = ["one.example", "two.example", "three.example"]
+            .iter()
+            .flat_map(|h| {
+                [format!("https://{h}/"), format!("https://{h}/data.json")]
+            })
+            .map(|s| Url::parse(&s).unwrap())
+            .collect();
+
+        // (attempts, backoff_ms, Ok(status, body_len, latency) | Err(class))
+        type OutcomeSummary = (u32, u64, Result<(u16, usize, u64), &'static str>);
+        let run = |label: &str| -> Vec<OutcomeSummary> {
+            let mut session = FetchSession::new(seed ^ 0xA5A5, label);
+            urls.iter()
+                .flat_map(|url| {
+                    (0..3).map(|_| {
+                        let outcome = fetcher.get_with(url, &mut session);
+                        let summary = outcome
+                            .result
+                            .as_ref()
+                            .map(|r| (r.status.0, r.body.len(), r.latency_ms))
+                            .map_err(|e| e.class());
+                        (outcome.attempts, outcome.backoff_ms, summary)
+                    }).collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        prop_assert_eq!(run("replay"), run("replay"));
+    }
+
+    /// A faulted session only ever differs from an unfaulted one in the
+    /// transient directions the injector models: with injection disabled
+    /// (scale off) the session-aware path behaves exactly like plain `get`.
+    #[test]
+    fn scale_off_is_indistinguishable_from_no_injector(seed in 0u64..1_000_000) {
+        let web = one_host_web("site.example");
+        let url = Url::parse("https://site.example/").unwrap();
+        let plain = Fetcher::new(web.clone());
+        let injected = Fetcher::new(web)
+            .with_fault_injector(FaultInjector::new(FaultPlan::new(seed, FaultScale::off())))
+            .with_retry(RetryPolicy::standard());
+        let mut session = FetchSession::new(seed, "off");
+        for _ in 0..4 {
+            let a = plain.get(&url).unwrap();
+            let outcome = injected.get_with(&url, &mut session);
+            let b = outcome.result.unwrap();
+            prop_assert_eq!(outcome.attempts, 1);
+            prop_assert_eq!(a.status, b.status);
+            prop_assert_eq!(a.body_text(), b.body_text());
+            prop_assert_eq!(a.latency_ms, b.latency_ms);
+        }
+    }
+}
