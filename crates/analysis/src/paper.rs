@@ -70,21 +70,57 @@ impl PaperReproduction {
     /// Run every experiment, in paper order. The experiments execute
     /// concurrently on the engine's pool (one coarse task each); reports
     /// come back in paper order regardless of completion order.
+    ///
+    /// The sweep runs under the engine's
+    /// [`SupervisionPolicy`](rws_engine::SupervisionPolicy): fail-fast by
+    /// default (all twelve reports or a panic), or — under salvage — a
+    /// panicking experiment is quarantined in the engine's monitor (see
+    /// [`supervision_report`](Self::supervision_report)) and its report is
+    /// simply missing from the result.
     pub fn run_all(&self) -> Vec<Report> {
         let scenario = self.scenario();
         let experiments = all_experiments();
         self.engine
-            .par_map_coarse(&experiments, |_, experiment| experiment.run(scenario))
+            .par_map_supervised("experiment", &experiments, |_, experiment| {
+                experiment.run(scenario)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Everything the engine's monitor saw across the reproduction so far:
+    /// scenario-stage sweeps, experiment sweeps, and any quarantined tasks.
+    pub fn supervision_report(&self) -> rws_engine::SupervisionReport {
+        self.engine.supervision_report()
     }
 
     /// Render every report as one text document — what the examples print
-    /// and EXPERIMENTS.md is derived from.
+    /// and EXPERIMENTS.md is derived from. When a salvage run degraded
+    /// (quarantined tasks or cap trips), a trailing section says so
+    /// explicitly rather than letting a shortened document pass as
+    /// complete.
     pub fn render_all(&self) -> String {
-        self.run_all()
+        let mut text = self
+            .run_all()
             .iter()
             .map(Report::to_text)
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n");
+        let supervision = self.supervision_report();
+        if supervision.degraded() {
+            text.push_str(&format!(
+                "\n=== supervision (degraded) ===\ntasks run: {}\nquarantined: {}\ncap trips: {}\n",
+                supervision.tasks_run, supervision.quarantined, supervision.cap_trips
+            ));
+            for entry in &supervision.entries {
+                text.push_str(&format!(
+                    "quarantined {}[{}]: {}\n",
+                    entry.stage, entry.index, entry.message
+                ));
+            }
+        }
+        text
     }
 }
 
@@ -135,5 +171,25 @@ mod tests {
         for id in repro.experiment_ids() {
             assert!(text.contains(&format!("=== {id} ")), "missing section {id}");
         }
+        // Nothing panicked, so the degraded section must be absent even
+        // though the monitor recorded the sweeps.
+        assert!(!text.contains("supervision (degraded)"));
+    }
+
+    #[test]
+    fn salvage_run_matches_fail_fast_when_nothing_panics() {
+        use rws_engine::SupervisionPolicy;
+        let fail_fast = reproduction().run_all();
+        let repro = PaperReproduction::with_engine(
+            ScenarioConfig::small(61),
+            EngineContext::new().with_supervision(SupervisionPolicy::salvage()),
+        );
+        let salvaged = repro.run_all();
+        assert_eq!(fail_fast, salvaged);
+        let supervision = repro.supervision_report();
+        assert!(supervision.tasks_run >= 12, "{supervision:?}");
+        assert_eq!(supervision.quarantined, 0);
+        assert!(!supervision.degraded());
+        assert!(supervision.entries.is_empty());
     }
 }

@@ -17,12 +17,14 @@ use rws_corpus::{
 use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
 use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
 use rws_engine::EngineContext;
+use rws_engine::SupervisionPolicy;
+use rws_github::{HistoryConfig, HistoryGenerator};
 use rws_html::similarity::{
     html_similarity_naive, DocumentProfile, ProfileScratch, SimilarityWeights,
 };
 use rws_html::{text_content, tokenize, Tokens, TokensFind};
 use rws_load::{
-    FaultPlan, FaultScale, FetchSession, LoadEngine, LoadScale, LoadTarget, RetryPolicy,
+    FaultPlan, FaultScale, FetchSession, LoadEngine, LoadScale, LoadTarget, MemorySink, RetryPolicy,
 };
 use rws_stats::rng::Xoshiro256StarStar;
 use rws_survey::{PairGenerator, SurveyRunner, SurveyScale};
@@ -970,6 +972,119 @@ fn main() {
         json!(storm_report == storm_replay),
     );
 
+    // --- supervised execution: salvage overhead, checkpointing, resume ----
+    // When nothing panics, a salvage sweep is the fail-fast sweep plus one
+    // `catch_unwind` per chunk and a per-chunk fetcher family — the ratio
+    // should sit at ~1.0 (emitted, and the reports are asserted equal).
+    let supervised_engine = LoadEngine::new(load_target.clone(), LoadScale::smoke().times(4));
+    let salvage_ctx = EngineContext::new().with_supervision(SupervisionPolicy::salvage());
+    let failfast_report = supervised_engine.run_on(LOAD_SEED, &load_ctx);
+    let salvage_report = supervised_engine.run_on(LOAD_SEED, &salvage_ctx);
+    assert_eq!(
+        failfast_report, salvage_report,
+        "salvage must be byte-identical to fail-fast when nothing panics"
+    );
+    let load_failfast_ns = measure(|| {
+        black_box(supervised_engine.run_on(LOAD_SEED, &load_ctx));
+    });
+    let load_salvage_ns = measure(|| {
+        black_box(supervised_engine.run_on(LOAD_SEED, &salvage_ctx));
+    });
+    kernels.insert("load_failfast_replay".into(), json!(load_failfast_ns));
+    kernels.insert("load_salvage_replay".into(), json!(load_salvage_ns));
+    speedups.insert(
+        "load_salvage_vs_failfast_no_panics".into(),
+        json!(load_salvage_ns / load_failfast_ns),
+    );
+
+    // Checkpointed replay: same fleet in 4-chunk windows with a serialized
+    // `LoadCheckpoint` after each window, and a kill/resume from the
+    // midpoint — both asserted field-for-field equal to the uninterrupted
+    // run before timing anything.
+    let checkpoint_sink = MemorySink::new();
+    let checkpointed_report =
+        supervised_engine.run_checkpointed(LOAD_SEED, &load_ctx, 4, &checkpoint_sink);
+    assert_eq!(
+        failfast_report, checkpointed_report,
+        "checkpointed run must equal the uninterrupted one"
+    );
+    let midpoint = rws_stats::CheckpointSink::count(&checkpoint_sink) / 2;
+    let resumed_report = supervised_engine.resume_from(
+        LOAD_SEED,
+        &load_ctx,
+        4,
+        &checkpoint_sink.truncated(midpoint),
+    );
+    assert_eq!(
+        checkpointed_report, resumed_report,
+        "resumed run must equal the uninterrupted one"
+    );
+    let load_checkpointed_ns = measure(|| {
+        let sink = MemorySink::new();
+        black_box(supervised_engine.run_checkpointed(LOAD_SEED, &load_ctx, 4, &sink));
+    });
+    kernels.insert(
+        "load_checkpointed_replay".into(),
+        json!(load_checkpointed_ns),
+    );
+    speedups.insert(
+        "load_checkpointed_vs_failfast".into(),
+        json!(load_checkpointed_ns / load_failfast_ns),
+    );
+
+    // checkpoint_write: serialising one merged LoadReport into a memory
+    // sink — the marginal cost a run pays per checkpoint boundary.
+    let checkpoint_state = rws_load::LoadCheckpoint {
+        seed: LOAD_SEED,
+        next_chunk: 4,
+        partial: failfast_report.clone(),
+    };
+    let write_sink = MemorySink::new();
+    let checkpoint_write_ns = measure(|| {
+        use serde::Serialize;
+        rws_stats::CheckpointSink::store(&write_sink, black_box(&checkpoint_state).serialize());
+    });
+    kernels.insert("checkpoint_write".into(), json!(checkpoint_write_ns));
+
+    // History replay with checkpoints: the governance generator in
+    // 8-submitter windows, asserted equal to the plain replay.
+    let history_generator = HistoryGenerator::new(HistoryConfig::default());
+    let bench_corpus = &bench_scenario().corpus;
+    let plain_history = history_generator.generate_with(bench_corpus, &load_ctx);
+    let history_sink = MemorySink::new();
+    let checkpointed_history =
+        history_generator.generate_checkpointed(bench_corpus, &load_ctx, 8, &history_sink);
+    assert_eq!(
+        plain_history, checkpointed_history,
+        "checkpointed history must equal the uninterrupted one"
+    );
+    let history_checkpointed_ns = measure(|| {
+        let sink = MemorySink::new();
+        black_box(history_generator.generate_checkpointed(bench_corpus, &load_ctx, 8, &sink));
+    });
+    kernels.insert(
+        "history_checkpointed_replay".into(),
+        json!(history_checkpointed_ns),
+    );
+
+    let mut supervision = Map::new();
+    supervision.insert(
+        "salvage_equals_failfast_no_panics".into(),
+        json!(failfast_report == salvage_report),
+    );
+    supervision.insert(
+        "resumed_equals_uninterrupted".into(),
+        json!(checkpointed_report == resumed_report),
+    );
+    supervision.insert(
+        "checkpoints_written".into(),
+        json!(rws_stats::CheckpointSink::count(&checkpoint_sink) as u64),
+    );
+    supervision.insert(
+        "salvage_overhead_ratio".into(),
+        json!(load_salvage_ns / load_failfast_ns),
+    );
+
     let mut resolver_cache = Map::new();
     resolver_cache.insert("hits".into(), json!(resolver_stats.hits));
     resolver_cache.insert("misses".into(), json!(resolver_stats.misses));
@@ -999,6 +1114,7 @@ fn main() {
         "engine": Value::Object(engine),
         "load": Value::Object(load_map),
         "resilience": Value::Object(resilience),
+        "supervision": Value::Object(supervision),
     });
     let path = format!("BENCH_{index}.json");
     let text = serde_json::to_string_pretty(&report).expect("serialisable");

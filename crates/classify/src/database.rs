@@ -47,14 +47,26 @@ impl CategoryDatabase {
     /// Each task streams its page *borrowed* out of the corpus's frozen
     /// store straight into the keyword automaton: no lock is taken and no
     /// page `String` is cloned anywhere on the pooled path.
+    ///
+    /// The sweep runs under the context's [`SupervisionPolicy`]: fail-fast
+    /// by default (a panicking site takes the build down, as before), or —
+    /// under salvage — a panicking site is quarantined in the context's
+    /// monitor and simply omitted from the database, so lookups for it
+    /// answer [`SiteCategory::Unknown`], exactly like an unfetchable URL.
+    ///
+    /// [`SupervisionPolicy`]: rws_engine::SupervisionPolicy
     pub fn classify_corpus_on(corpus: &Corpus, ctx: &EngineContext) -> CategoryDatabase {
         let classifier = KeywordClassifier::new();
         let sites: Vec<&SiteSpec> = corpus.sites.values().collect();
-        let categories: Vec<SiteCategory> =
-            ctx.par_map(&sites, |_, spec| site_category(&classifier, corpus, spec));
+        let categories: Vec<Option<SiteCategory>> =
+            ctx.par_map_supervised("classify", &sites, |_, spec| {
+                site_category(&classifier, corpus, spec)
+            });
         let mut db = CategoryDatabase::new();
         for (spec, category) in sites.into_iter().zip(categories) {
-            db.insert(spec.domain.clone(), category);
+            if let Some(category) = category {
+                db.insert(spec.domain.clone(), category);
+            }
         }
         db
     }

@@ -30,7 +30,10 @@
 
 pub use rws_domain::SiteResolver;
 pub use rws_stats::pool::ThreadPool;
-use rws_stats::pool::{par_map_on, par_map_with_on};
+use rws_stats::pool::{map_salvage_seq, par_map_on, par_map_salvage_on, par_map_with_on};
+use rws_stats::supervision::Quarantine;
+pub use rws_stats::supervision::{SupervisionPolicy, SupervisionReport};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// How a context executes its parallel entry points.
 #[derive(Debug, Clone)]
@@ -49,43 +52,53 @@ enum ExecMode {
 pub struct EngineContext {
     mode: ExecMode,
     resolver: SiteResolver,
+    /// How supervised sweeps treat panicking tasks (fail-fast by default).
+    supervision: SupervisionPolicy,
+    /// The run-level supervision aggregate. Clones share the monitor, so
+    /// every layer a context is threaded through reports into one place;
+    /// [`sequential_twin`](EngineContext::sequential_twin) gets a fresh one
+    /// so oracle runs count independently.
+    monitor: Arc<Mutex<SupervisionReport>>,
 }
 
 impl EngineContext {
+    fn assemble(mode: ExecMode, resolver: SiteResolver) -> EngineContext {
+        EngineContext {
+            mode,
+            resolver,
+            supervision: SupervisionPolicy::FailFast,
+            monitor: Arc::new(Mutex::new(SupervisionReport::new())),
+        }
+    }
+
     /// The production context: global thread pool + the process-wide
     /// resolver over the full vendored PSL snapshot.
     pub fn new() -> EngineContext {
-        EngineContext {
-            mode: ExecMode::Pooled(ThreadPool::global().clone()),
-            resolver: SiteResolver::full(),
-        }
+        EngineContext::assemble(
+            ExecMode::Pooled(ThreadPool::global().clone()),
+            SiteResolver::full(),
+        )
     }
 
     /// Global pool + a resolver over the small embedded PSL snapshot — the
     /// context unit tests run on (same fixture the seed tests pinned down).
     pub fn embedded() -> EngineContext {
-        EngineContext {
-            mode: ExecMode::Pooled(ThreadPool::global().clone()),
-            resolver: SiteResolver::embedded(),
-        }
+        EngineContext::assemble(
+            ExecMode::Pooled(ThreadPool::global().clone()),
+            SiteResolver::embedded(),
+        )
     }
 
     /// A context that executes everything inline on the calling thread,
     /// sharing the production resolver. This is the sequential oracle for
     /// the parallel-vs-sequential equivalence property tests.
     pub fn sequential() -> EngineContext {
-        EngineContext {
-            mode: ExecMode::Sequential,
-            resolver: SiteResolver::full(),
-        }
+        EngineContext::assemble(ExecMode::Sequential, SiteResolver::full())
     }
 
     /// A context over an explicit pool and resolver.
     pub fn with_parts(pool: ThreadPool, resolver: SiteResolver) -> EngineContext {
-        EngineContext {
-            mode: ExecMode::Pooled(pool),
-            resolver,
-        }
+        EngineContext::assemble(ExecMode::Pooled(pool), resolver)
     }
 
     /// Replace the resolver, keeping the execution mode.
@@ -94,13 +107,26 @@ impl EngineContext {
         self
     }
 
+    /// Replace the supervision policy, resetting the monitor: the returned
+    /// context starts with a fresh [`SupervisionReport`], so a salvage run
+    /// aggregates only its own sweeps.
+    pub fn with_supervision(mut self, policy: SupervisionPolicy) -> EngineContext {
+        self.supervision = policy;
+        self.monitor = Arc::new(Mutex::new(SupervisionReport::new()));
+        self
+    }
+
     /// A context with the same resolver handle (shared memo cache) but
     /// inline execution — the per-context twin used when benchmarking or
-    /// property-testing pooled against sequential runs.
+    /// property-testing pooled against sequential runs. The twin keeps the
+    /// supervision policy but gets its own fresh monitor, so oracle runs
+    /// count their sweeps independently.
     pub fn sequential_twin(&self) -> EngineContext {
         EngineContext {
             mode: ExecMode::Sequential,
             resolver: self.resolver.clone(),
+            supervision: self.supervision,
+            monitor: Arc::new(Mutex::new(SupervisionReport::new())),
         }
     }
 
@@ -182,6 +208,98 @@ impl EngineContext {
                     .collect()
             }
         }
+    }
+
+    /// The supervision policy supervised sweeps run under.
+    pub fn supervision(&self) -> SupervisionPolicy {
+        self.supervision
+    }
+
+    /// A snapshot of the run-level supervision aggregate: every supervised
+    /// sweep executed on this context (or a clone of it) so far.
+    pub fn supervision_report(&self) -> SupervisionReport {
+        self.monitor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn record_sweep(&self, sweep: &SupervisionReport) {
+        self.monitor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(sweep);
+    }
+
+    /// Ordered parallel map under the context's [`SupervisionPolicy`].
+    /// Under fail-fast (the default) this is [`par_map_coarse`]
+    /// (panics re-raise on the caller) with every result `Some`; under
+    /// salvage, a panicking task is caught, quarantined as `(stage, index,
+    /// message)` in the context's monitor, and its slot comes back `None`
+    /// while the rest of the sweep completes. Results and quarantine
+    /// contents are scheduling-independent either way.
+    ///
+    /// [`par_map_coarse`]: EngineContext::par_map_coarse
+    pub fn par_map_supervised<T, R, F>(&self, stage: &str, items: &[T], f: F) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_sweep_at(stage, 0, items, f).0
+    }
+
+    /// Like [`par_map_supervised`](EngineContext::par_map_supervised), but
+    /// also returns this sweep's own [`SupervisionReport`] (still merged
+    /// into the shared monitor), with quarantine indices shifted by
+    /// `index_offset` — the entry point windowed (checkpointed) runs use so
+    /// entries carry global positions.
+    pub fn par_map_sweep_at<T, R, F>(
+        &self,
+        stage: &str,
+        index_offset: usize,
+        items: &[T],
+        f: F,
+    ) -> (Vec<Option<R>>, SupervisionReport)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut sweep = SupervisionReport::new();
+        let out = match self.supervision {
+            SupervisionPolicy::FailFast => {
+                let out: Vec<Option<R>> = self
+                    .par_map_coarse(items, f)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+                sweep.record_sweep(
+                    stage,
+                    index_offset,
+                    items.len(),
+                    &Quarantine::new(),
+                    usize::MAX,
+                );
+                out
+            }
+            SupervisionPolicy::Salvage { quarantine_cap } => {
+                let (out, quarantine) = match &self.mode {
+                    ExecMode::Pooled(pool) => par_map_salvage_on(pool, items, &f),
+                    ExecMode::Sequential => map_salvage_seq(items, &f),
+                };
+                sweep.record_sweep(
+                    stage,
+                    index_offset,
+                    items.len(),
+                    &quarantine,
+                    quarantine_cap,
+                );
+                out
+            }
+        };
+        self.record_sweep(&sweep);
+        (out, sweep)
     }
 
     /// Run two closures, in parallel when pooled (either may execute on a
@@ -274,6 +392,61 @@ mod tests {
                 .unwrap(),
             dn("example.com.ng")
         );
+    }
+
+    #[test]
+    fn supervised_fail_fast_matches_par_map_and_counts_tasks() {
+        let ctx = EngineContext::embedded();
+        assert_eq!(ctx.supervision(), SupervisionPolicy::FailFast);
+        let items: Vec<u64> = (0..100).collect();
+        let out = ctx.par_map_supervised("stage", &items, |i, v| v + i as u64);
+        let plain: Vec<Option<u64>> = ctx
+            .par_map_coarse(&items, |i, v| v + i as u64)
+            .into_iter()
+            .map(Some)
+            .collect();
+        assert_eq!(out, plain);
+        let report = ctx.supervision_report();
+        // Only the supervised sweep records (par_map_coarse does not).
+        assert_eq!(report.tasks_run, 100);
+        assert_eq!(report.quarantined, 0);
+        assert!(!report.degraded());
+    }
+
+    #[test]
+    fn supervised_salvage_agrees_across_modes_and_records_quarantine() {
+        let pooled = EngineContext::embedded().with_supervision(SupervisionPolicy::salvage());
+        let sequential = pooled.sequential_twin();
+        assert_eq!(sequential.supervision(), SupervisionPolicy::salvage());
+        let items: Vec<u64> = (0..200).collect();
+        let task = |_: usize, v: &u64| {
+            if v % 61 == 13 {
+                panic!("poisoned work item {v}");
+            }
+            v * 3
+        };
+        let (a, sweep_a) = pooled.par_map_sweep_at("stage", 0, &items, task);
+        let (b, sweep_b) = sequential.par_map_sweep_at("stage", 0, &items, task);
+        assert_eq!(a, b);
+        assert_eq!(sweep_a, sweep_b);
+        assert_eq!(sweep_a.quarantined, 4); // 13, 74, 135, 196
+        assert_eq!(sweep_a.entries[0].index, 13);
+        assert_eq!(sweep_a.entries[0].stage, "stage");
+        // The monitors are independent (twin got a fresh one) but agree.
+        assert_eq!(pooled.supervision_report(), sequential.supervision_report());
+        // Clones share the monitor.
+        let clone = pooled.clone();
+        assert_eq!(clone.supervision_report().quarantined, 4);
+    }
+
+    #[test]
+    fn with_supervision_resets_the_monitor() {
+        let ctx = EngineContext::embedded();
+        let items: Vec<u64> = (0..10).collect();
+        let _ = ctx.par_map_supervised("warmup", &items, |_, v| *v);
+        assert_eq!(ctx.supervision_report().tasks_run, 10);
+        let fresh = ctx.with_supervision(SupervisionPolicy::salvage());
+        assert_eq!(fresh.supervision_report().tasks_run, 0);
     }
 
     #[test]

@@ -29,10 +29,28 @@ use rws_domain::DomainName;
 use rws_engine::EngineContext;
 use rws_model::{RwsSet, WellKnownFile};
 use rws_net::{SiteHost, WELL_KNOWN_RWS_PATH};
+use rws_stats::checkpoint::CheckpointSink;
 use rws_stats::rng::{Rng, Xoshiro256StarStar};
 use rws_stats::sampling::weighted_choice;
 use rws_stats::timeseries::{Date, Month};
 use serde::{Deserialize, Serialize};
+
+/// Resumable state of a governance history replay: the submitter watermark
+/// (tasks `0..watermark` are already replayed) plus every raw PR collected
+/// so far, serialised through the vendored serde shim into a
+/// [`CheckpointSink`]. Because submitters are independent (per-submitter
+/// derived rng streams, submitter-slugged defect hosts), resuming from a
+/// checkpoint on a freshly generated identical corpus produces a history
+/// field-for-field equal to an uninterrupted replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryCheckpoint {
+    /// The history seed the checkpoint belongs to.
+    pub seed: u64,
+    /// Number of submitter tasks already replayed.
+    pub watermark: usize,
+    /// Raw PRs collected so far (pre-sort, pre-renumber).
+    pub prs: Vec<PullRequest>,
+}
 
 /// A deliberate mistake injected into a submission attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -137,8 +155,76 @@ impl HistoryGenerator {
     /// across the context's pool and sharing its site resolver with every
     /// validation bot. Output is identical whether the context is pooled or
     /// sequential (each submitter draws from an rng stream derived from its
-    /// primary's name).
+    /// primary's name). Under a salvage [`SupervisionPolicy`] a panicking
+    /// submitter replay is quarantined in the context's monitor and its PRs
+    /// are dropped, instead of taking the whole history down.
+    ///
+    /// [`SupervisionPolicy`]: rws_engine::SupervisionPolicy
     pub fn generate_with(&self, corpus: &Corpus, ctx: &EngineContext) -> PrHistory {
+        self.replay_loop(corpus, ctx, usize::MAX, None, 0, Vec::new())
+    }
+
+    /// Like [`generate_with`](Self::generate_with), but replaying the
+    /// submitter tasks in windows of `every` and serialising a
+    /// [`HistoryCheckpoint`] (submitter watermark + raw PRs so far) into
+    /// `sink` after each window, so a killed run can continue from where it
+    /// left off.
+    pub fn generate_checkpointed(
+        &self,
+        corpus: &Corpus,
+        ctx: &EngineContext,
+        every: usize,
+        sink: &dyn CheckpointSink,
+    ) -> PrHistory {
+        self.replay_loop(corpus, ctx, every, Some(sink), 0, Vec::new())
+    }
+
+    /// Continue a checkpointed replay from the sink's latest checkpoint
+    /// (or from scratch on an empty sink) against a freshly generated
+    /// identical corpus. The finished history is field-for-field equal to
+    /// an uninterrupted [`generate_checkpointed`](Self::generate_checkpointed)
+    /// run — property-tested by killing at every checkpoint boundary.
+    pub fn resume_from(
+        &self,
+        corpus: &Corpus,
+        ctx: &EngineContext,
+        every: usize,
+        sink: &dyn CheckpointSink,
+    ) -> PrHistory {
+        match sink.latest() {
+            Some(value) => {
+                let checkpoint = HistoryCheckpoint::deserialize(&value)
+                    .expect("sink holds a valid history checkpoint");
+                assert_eq!(
+                    checkpoint.seed, self.config.seed,
+                    "checkpoint belongs to a different history seed"
+                );
+                self.replay_loop(
+                    corpus,
+                    ctx,
+                    every,
+                    Some(sink),
+                    checkpoint.watermark,
+                    checkpoint.prs,
+                )
+            }
+            None => self.replay_loop(corpus, ctx, every, Some(sink), 0, Vec::new()),
+        }
+    }
+
+    /// The shared replay core: one unified task list (every set on the
+    /// list, then every never-successful submitter), processed in windows
+    /// of `every` tasks, each window one supervised sweep on the context.
+    /// `start`/`prs` seed the loop when resuming from a checkpoint.
+    fn replay_loop(
+        &self,
+        corpus: &Corpus,
+        ctx: &EngineContext,
+        every: usize,
+        sink: Option<&dyn CheckpointSink>,
+        start: usize,
+        mut prs: Vec<PullRequest>,
+    ) -> PrHistory {
         let cfg = self.config;
         let base = Xoshiro256StarStar::new(cfg.seed).derive("github-history");
         let web = corpus.web.clone();
@@ -155,66 +241,96 @@ impl HistoryGenerator {
             Date::new(month.year, month.month, day)
         };
 
-        // --- Successful submitters: every set on the list, one independent
-        // rng stream (and one replay task) per set --------------------------
         let sets: Vec<&RwsSet> = corpus.list.sets().collect();
-        let per_set: Vec<Vec<PullRequest>> = ctx.par_map_coarse(&sets, |_, set| {
-            let mut rng = base.derive(&format!("set:{}", set.primary()));
-            // Handle clone only: `SimulatedWeb` clones share one registry, so
-            // defect hosts land on the shared corpus web from every task
-            // concurrently. That is safe and deterministic because each
-            // submitter's hosts carry its unique primary in their names.
-            let mut web = web.clone();
-            let mut pipeline = GovernancePipeline::with_shared_resolver(
-                web.clone(),
-                cfg.review,
-                ctx.resolver().clone(),
-            );
-            let mut prs = Vec::new();
-            let failed_attempts = rng.poisson(cfg.mean_failed_attempts_per_success) as usize;
-            let mut dates: Vec<Date> = (0..=failed_attempts).map(|_| draw_date(&mut rng)).collect();
-            dates.sort();
-            // Failed attempts first, each with an injected defect.
-            for date in dates.iter().take(failed_attempts) {
-                let defect = SubmissionDefect::sample(&mut rng);
-                let broken = apply_defect(set, defect, &mut web, &mut rng);
-                prs.push(pipeline.process(&broken, *date, &mut rng));
-            }
-            // The final, correct attempt.
-            prs.push(pipeline.process(set, dates[failed_attempts], &mut rng));
-            prs
-        });
+        let tasks: Vec<ReplayTask> = sets
+            .iter()
+            .map(|set| ReplayTask::Set(set))
+            .chain((0..cfg.never_successful_primaries).map(ReplayTask::Hopeless))
+            .collect();
 
-        // --- Never-successful submitters, one stream per submitter ----------
-        let hopeless: Vec<usize> = (0..cfg.never_successful_primaries).collect();
-        let per_hopeless: Vec<Vec<PullRequest>> = ctx.par_map_coarse(&hopeless, |_, i| {
-            let mut rng = base.derive(&format!("hopeful:{i}"));
-            let mut pipeline = GovernancePipeline::with_shared_resolver(
-                web.clone(),
-                cfg.review,
-                ctx.resolver().clone(),
-            );
-            let primary = DomainName::parse(&format!("hopeful-submitter-{i}.com"))
-                .expect("generated primary is valid");
-            let mut set = RwsSet::for_primary(primary);
-            set.add_associated(
-                &format!("https://hopeful-partner-{i}.com"),
-                "claimed affiliation",
-            )
-            .expect("generated members are unique");
-            let attempts = 1 + rng.poisson((cfg.mean_attempts_per_failure - 1.0).max(0.0)) as usize;
-            // These submitters never stand up .well-known files (their
-            // domains are not even registered on the web), so every attempt
-            // fails the fetch check.
-            (0..attempts)
-                .map(|_| pipeline.process(&set, draw_date(&mut rng), &mut rng))
-                .collect()
-        });
+        // One submitter's whole story, pure in `(config, corpus, task)`.
+        let replay_one = |task: &ReplayTask| -> Vec<PullRequest> {
+            match task {
+                ReplayTask::Set(set) => {
+                    let mut rng = base.derive(&format!("set:{}", set.primary()));
+                    // Handle clone only: `SimulatedWeb` clones share one
+                    // registry, so defect hosts land on the shared corpus web
+                    // from every task concurrently. That is safe and
+                    // deterministic because each submitter's hosts carry its
+                    // unique primary in their names.
+                    let mut web = web.clone();
+                    let mut pipeline = GovernancePipeline::with_shared_resolver(
+                        web.clone(),
+                        cfg.review,
+                        ctx.resolver().clone(),
+                    );
+                    let mut prs = Vec::new();
+                    let failed_attempts =
+                        rng.poisson(cfg.mean_failed_attempts_per_success) as usize;
+                    let mut dates: Vec<Date> =
+                        (0..=failed_attempts).map(|_| draw_date(&mut rng)).collect();
+                    dates.sort();
+                    // Failed attempts first, each with an injected defect.
+                    for date in dates.iter().take(failed_attempts) {
+                        let defect = SubmissionDefect::sample(&mut rng);
+                        let broken = apply_defect(set, defect, &mut web, &mut rng);
+                        prs.push(pipeline.process(&broken, *date, &mut rng));
+                    }
+                    // The final, correct attempt.
+                    prs.push(pipeline.process(set, dates[failed_attempts], &mut rng));
+                    prs
+                }
+                ReplayTask::Hopeless(i) => {
+                    let mut rng = base.derive(&format!("hopeful:{i}"));
+                    let mut pipeline = GovernancePipeline::with_shared_resolver(
+                        web.clone(),
+                        cfg.review,
+                        ctx.resolver().clone(),
+                    );
+                    let primary = DomainName::parse(&format!("hopeful-submitter-{i}.com"))
+                        .expect("generated primary is valid");
+                    let mut set = RwsSet::for_primary(primary);
+                    set.add_associated(
+                        &format!("https://hopeful-partner-{i}.com"),
+                        "claimed affiliation",
+                    )
+                    .expect("generated members are unique");
+                    let attempts =
+                        1 + rng.poisson((cfg.mean_attempts_per_failure - 1.0).max(0.0)) as usize;
+                    // These submitters never stand up .well-known files (their
+                    // domains are not even registered on the web), so every
+                    // attempt fails the fetch check.
+                    (0..attempts)
+                        .map(|_| pipeline.process(&set, draw_date(&mut rng), &mut rng))
+                        .collect()
+                }
+            }
+        };
+
+        let every = every.max(1);
+        let mut next = start.min(tasks.len());
+        while next < tasks.len() {
+            let end = next.saturating_add(every).min(tasks.len());
+            let window = &tasks[next..end];
+            let (results, _sweep) =
+                ctx.par_map_sweep_at("history", next, window, |_, task| replay_one(task));
+            prs.extend(results.into_iter().flatten().flatten());
+            next = end;
+            if let Some(sink) = sink {
+                sink.store(
+                    HistoryCheckpoint {
+                        seed: cfg.seed,
+                        watermark: next,
+                        prs: prs.clone(),
+                    }
+                    .serialize(),
+                );
+            }
+        }
 
         // Deterministic global numbering: order every submitter's attempts
         // by (open date, primary, within-submitter sequence) and number
         // sequentially, exactly as the repository would have.
-        let mut prs: Vec<PullRequest> = per_set.into_iter().chain(per_hopeless).flatten().collect();
         prs.sort_by(|a, b| {
             (a.opened_at, a.primary.as_str(), a.number).cmp(&(
                 b.opened_at,
@@ -227,6 +343,13 @@ impl HistoryGenerator {
         }
         PrHistory::new(prs)
     }
+}
+
+/// One independent submitter replay: a set from the corpus list (fumbles a
+/// few times, then lands) or a never-successful hopeful submitter.
+enum ReplayTask<'a> {
+    Set(&'a RwsSet),
+    Hopeless(usize),
 }
 
 /// Produce a broken variant of a valid set, and register any additional
@@ -491,5 +614,66 @@ mod tests {
             seen.insert(format!("{:?}", SubmissionDefect::sample(&mut rng)));
         }
         assert_eq!(seen.len(), SubmissionDefect::WEIGHTED.len());
+    }
+
+    #[test]
+    fn checkpointed_replay_matches_the_uninterrupted_one() {
+        let generator = HistoryGenerator::new(HistoryConfig {
+            never_successful_primaries: 6,
+            ..HistoryConfig::default()
+        });
+        let ctx = EngineContext::embedded();
+        let corpus = CorpusGenerator::new(CorpusConfig::small(31)).generate_with(&ctx);
+        let plain = generator.generate_with(&corpus, &ctx);
+        for every in [1, 3, 7, usize::MAX] {
+            let sink = rws_stats::MemorySink::new();
+            let corpus2 =
+                CorpusGenerator::new(CorpusConfig::small(31)).generate_with(&ctx.sequential_twin());
+            let checkpointed =
+                generator.generate_checkpointed(&corpus2, &ctx.sequential_twin(), every, &sink);
+            assert_eq!(checkpointed, plain, "window size {every} diverged");
+            assert!(sink.count() >= 1);
+        }
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_boundary_matches_uninterrupted() {
+        let generator = HistoryGenerator::new(HistoryConfig {
+            never_successful_primaries: 4,
+            ..HistoryConfig::default()
+        });
+        let ctx = EngineContext::embedded();
+        let corpus = CorpusGenerator::new(CorpusConfig::small(37)).generate_with(&ctx);
+        let every = 5;
+        let full_sink = rws_stats::MemorySink::new();
+        let uninterrupted = generator.generate_checkpointed(&corpus, &ctx, every, &full_sink);
+        // Kill the run right after each checkpoint (including "before any
+        // checkpoint" via keep = 0) and resume from the surviving prefix.
+        for keep in 0..=full_sink.count() {
+            let sink = full_sink.truncated(keep);
+            let corpus2 = CorpusGenerator::new(CorpusConfig::small(37)).generate_with(&ctx);
+            let resumed = generator.resume_from(&corpus2, &ctx, every, &sink);
+            assert_eq!(
+                resumed, uninterrupted,
+                "resume after checkpoint {keep} diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different history seed")]
+    fn resume_rejects_a_checkpoint_from_another_seed() {
+        let ctx = EngineContext::sequential();
+        let corpus = CorpusGenerator::new(CorpusConfig::small(17)).generate();
+        let sink = rws_stats::MemorySink::new();
+        sink.store(
+            HistoryCheckpoint {
+                seed: 999,
+                watermark: 1,
+                prs: Vec::new(),
+            }
+            .serialize(),
+        );
+        HistoryGenerator::new(HistoryConfig::default()).resume_from(&corpus, &ctx, 5, &sink);
     }
 }

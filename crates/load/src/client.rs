@@ -103,6 +103,9 @@ impl ClientState {
         report: &mut LoadReport,
     ) -> bool {
         let host = self.pick_host(target);
+        if target.is_poisoned(&host) {
+            panic!("poisoned work item: {host}");
+        }
         let path = if self.rng.chance(P_ABOUT) {
             "/about"
         } else {

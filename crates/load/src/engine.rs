@@ -5,14 +5,33 @@ use crate::report::LoadReport;
 use crate::scale::LoadScale;
 use crate::target::LoadTarget;
 use rws_domain::SiteResolver;
-use rws_engine::EngineContext;
+use rws_engine::{EngineContext, SupervisionPolicy};
 use rws_net::Fetcher;
+use rws_stats::checkpoint::CheckpointSink;
+use rws_stats::supervision::Quarantine;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Clients per pool task. Coarse enough that task dispatch is noise,
 /// fine enough that the pool has parallelism to steal at smoke scale.
 const CHUNK_CLIENTS: u32 = 128;
+
+/// Resumable state of a load run: the chunk watermark (chunk ordinals
+/// `0..next_chunk` are already replayed and merged) plus the merged
+/// partial report so far, serialised through the vendored serde shim.
+/// Valid to resume against a freshly built identical target because every
+/// client is a pure function of `(seed, client id)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadCheckpoint {
+    /// The run seed the partial report belongs to.
+    pub seed: u64,
+    /// First chunk ordinal not yet replayed.
+    pub next_chunk: u32,
+    /// Everything merged so far (`clients` is left at 0 until the run
+    /// finalises).
+    pub partial: LoadReport,
+}
 
 /// Replays a fleet of simulated browser clients against a [`LoadTarget`].
 ///
@@ -63,28 +82,157 @@ impl LoadEngine {
     }
 
     /// Run the full fleet on the given context: chunked event loops on the
-    /// pool (or inline when the context is sequential), one fetcher clone
-    /// per chunk so request accounting shards across workers.
+    /// pool (or inline when the context is sequential), fanned out under
+    /// the context's [`SupervisionPolicy`].
+    ///
+    /// Under the default fail-fast policy each chunk clones one shared
+    /// fetcher (same family-wide request counter, its own uncontended
+    /// shard) and a panicking chunk takes the run down, exactly as before.
+    /// Under salvage each chunk gets its *own* fetcher family and carries
+    /// its wire-request count in its partial report, so a quarantined
+    /// chunk's requests vanish with it and the surviving merge stays
+    /// exact; the quarantine lands in `report.supervision` (and the
+    /// context's monitor). When nothing panics the two accounting schemes
+    /// sum to the same totals, so salvage output is byte-identical to
+    /// fail-fast — a pinned property.
     pub fn run_on(&self, seed: u64, ctx: &EngineContext) -> LoadReport {
-        let fetcher = self.target.fetcher();
         let resolver = ctx.resolver();
+        let chunks = self.chunk_spans();
+        let mut merged = LoadReport::new();
+        let sweep = match ctx.supervision() {
+            SupervisionPolicy::FailFast => {
+                let fetcher = self.target.fetcher();
+                let (partials, sweep) =
+                    ctx.par_map_sweep_at("load-chunk", 0, &chunks, |_, &(lo, hi)| {
+                        let worker_fetcher = fetcher.clone();
+                        self.run_chunk(seed, lo, hi, resolver, &worker_fetcher)
+                    });
+                for partial in partials.into_iter().flatten() {
+                    merged.merge(&partial);
+                }
+                merged.wire_requests = fetcher.requests_issued() as u64;
+                sweep
+            }
+            SupervisionPolicy::Salvage { .. } => {
+                let (partials, sweep) =
+                    ctx.par_map_sweep_at("load-chunk", 0, &chunks, |_, &(lo, hi)| {
+                        let worker_fetcher = self.target.fetcher();
+                        let mut partial = self.run_chunk(seed, lo, hi, resolver, &worker_fetcher);
+                        partial.wire_requests = worker_fetcher.requests_issued() as u64;
+                        partial
+                    });
+                for partial in partials.into_iter().flatten() {
+                    merged.merge(&partial);
+                }
+                sweep
+            }
+        };
+        merged.supervision.merge(&sweep);
+        merged.clients = self.scale.clients as u64;
+        merged
+    }
+
+    /// The fleet cut into `CHUNK_CLIENTS`-sized `(lo, hi)` spans — the
+    /// unit of pool dispatch, quarantine and checkpointing alike.
+    fn chunk_spans(&self) -> Vec<(u32, u32)> {
         let clients = self.scale.clients as u32;
-        let chunks: Vec<(u32, u32)> = (0..clients)
+        (0..clients)
             .step_by(CHUNK_CLIENTS.max(1) as usize)
             .map(|lo| (lo, (lo + CHUNK_CLIENTS).min(clients)))
-            .collect();
-        let partials = ctx.par_map_coarse(&chunks, |_, &(lo, hi)| {
-            // Each chunk clones the fetcher: same web, same family-wide
-            // request counter, its own uncontended shard.
-            let worker_fetcher = fetcher.clone();
-            self.run_chunk(seed, lo, hi, resolver, &worker_fetcher)
-        });
-        let mut merged = LoadReport::new();
-        for partial in &partials {
-            merged.merge(partial);
+            .collect()
+    }
+
+    /// Like [`run_on`](Self::run_on), but replaying the chunks in windows
+    /// of `every` and serialising a [`LoadCheckpoint`] (chunk watermark +
+    /// merged partial report) into `sink` after each window, so a killed
+    /// run can continue from where it left off. Every chunk uses its own
+    /// fetcher family (the salvage accounting scheme), which sums to the
+    /// shared-family totals, so the finished report equals an
+    /// uninterrupted [`run_on`](Self::run_on) field for field.
+    pub fn run_checkpointed(
+        &self,
+        seed: u64,
+        ctx: &EngineContext,
+        every: usize,
+        sink: &dyn CheckpointSink,
+    ) -> LoadReport {
+        self.resume_loop(seed, ctx, every, sink, 0, LoadReport::new())
+    }
+
+    /// Continue a checkpointed run from the sink's latest checkpoint (or
+    /// from scratch on an empty sink). The finished report is
+    /// field-for-field equal to an uninterrupted run — property-tested by
+    /// killing at every checkpoint boundary.
+    pub fn resume_from(
+        &self,
+        seed: u64,
+        ctx: &EngineContext,
+        every: usize,
+        sink: &dyn CheckpointSink,
+    ) -> LoadReport {
+        match sink.latest() {
+            Some(value) => {
+                let checkpoint = LoadCheckpoint::deserialize(&value)
+                    .expect("sink holds a valid load checkpoint");
+                assert_eq!(
+                    checkpoint.seed, seed,
+                    "checkpoint belongs to a different load seed"
+                );
+                self.resume_loop(
+                    seed,
+                    ctx,
+                    every,
+                    sink,
+                    checkpoint.next_chunk as usize,
+                    checkpoint.partial,
+                )
+            }
+            None => self.resume_loop(seed, ctx, every, sink, 0, LoadReport::new()),
         }
-        merged.clients = clients as u64;
-        merged.wire_requests = fetcher.requests_issued() as u64;
+    }
+
+    /// The shared checkpointing core: replay chunks `start_chunk..` in
+    /// windows of `every`, each window one supervised sweep, storing the
+    /// merged state after every window. `merged` seeds the fold when
+    /// resuming.
+    fn resume_loop(
+        &self,
+        seed: u64,
+        ctx: &EngineContext,
+        every: usize,
+        sink: &dyn CheckpointSink,
+        start_chunk: usize,
+        mut merged: LoadReport,
+    ) -> LoadReport {
+        let resolver = ctx.resolver();
+        let chunks = self.chunk_spans();
+        let every = every.max(1);
+        let mut next = start_chunk.min(chunks.len());
+        while next < chunks.len() {
+            let end = next.saturating_add(every).min(chunks.len());
+            let window = &chunks[next..end];
+            let (partials, sweep) =
+                ctx.par_map_sweep_at("load-chunk", next, window, |_, &(lo, hi)| {
+                    let worker_fetcher = self.target.fetcher();
+                    let mut partial = self.run_chunk(seed, lo, hi, resolver, &worker_fetcher);
+                    partial.wire_requests = worker_fetcher.requests_issued() as u64;
+                    partial
+                });
+            for partial in partials.into_iter().flatten() {
+                merged.merge(&partial);
+            }
+            merged.supervision.merge(&sweep);
+            next = end;
+            sink.store(
+                LoadCheckpoint {
+                    seed,
+                    next_chunk: next as u32,
+                    partial: merged.clone(),
+                }
+                .serialize(),
+            );
+        }
+        merged.clients = self.scale.clients as u64;
         merged
     }
 
@@ -143,6 +291,15 @@ impl LoadEngine {
         }
         report.clients = self.scale.clients as u64;
         report.wire_requests = fetcher.requests_issued() as u64;
+        // Mirror the clean fail-fast sweep `run_on` records, so the oracle
+        // stays field-for-field equal to the engine paths.
+        report.supervision.record_sweep(
+            "load-chunk",
+            0,
+            self.chunk_spans().len(),
+            &Quarantine::new(),
+            usize::MAX,
+        );
         report
     }
 }

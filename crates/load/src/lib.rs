@@ -47,6 +47,19 @@
 //! because fault schedules are pure `(seed, host, per-client ordinal)`
 //! functions with no shared state.
 //!
+//! # Supervised execution
+//!
+//! Chunk sweeps run under the context's
+//! [`SupervisionPolicy`](rws_engine::SupervisionPolicy): fail-fast by
+//! default, or — under salvage — a panicking chunk is quarantined into
+//! `report.supervision` while the surviving chunks' partials still merge
+//! exactly. Long runs can also be checkpointed:
+//! [`LoadEngine::run_checkpointed`] serialises a [`LoadCheckpoint`]
+//! (chunk watermark + merged partial report) into a
+//! [`CheckpointSink`](rws_stats::CheckpointSink) every few windows, and
+//! [`LoadEngine::resume_from`] continues a killed run to a report
+//! field-for-field equal to an uninterrupted one.
+//!
 //! ```
 //! use rws_corpus::{CorpusConfig, CorpusGenerator};
 //! use rws_load::{LoadEngine, LoadScale, LoadTarget};
@@ -65,7 +78,7 @@ pub mod report;
 pub mod scale;
 pub mod target;
 
-pub use engine::LoadEngine;
+pub use engine::{LoadCheckpoint, LoadEngine};
 pub use report::{LoadReport, VendorTally};
 pub use scale::LoadScale;
 pub use target::LoadTarget;
@@ -73,3 +86,9 @@ pub use target::LoadTarget;
 // Resilience knobs, re-exported so load consumers (tests, benches) can
 // configure weather without depending on rws-net directly.
 pub use rws_net::{FaultPlan, FaultScale, FetchSession, RetryPolicy};
+
+// Supervision and checkpointing vocabulary, re-exported for the same
+// reason: tests and benches configure salvage runs and sinks through the
+// load crate alone.
+pub use rws_engine::{SupervisionPolicy, SupervisionReport};
+pub use rws_stats::{CheckpointSink, FileSink, MemorySink};

@@ -1,7 +1,7 @@
 //! Aggregated results of a load run.
 
 use rws_browser::{PolicyVerdict, StorageAccessPolicy, VendorPolicy};
-use rws_stats::{CategoryCounter, LatencyHistogram};
+use rws_stats::{CategoryCounter, LatencyHistogram, SupervisionReport};
 use serde::{Deserialize, Serialize};
 
 /// Per-vendor storage-access outcomes across every partitioning decision
@@ -127,6 +127,10 @@ pub struct LoadReport {
     pub sim_start_ms: u64,
     /// Latest client session end on the simulated clock.
     pub sim_end_ms: u64,
+    /// How the run's chunk sweeps were supervised: tasks run, chunks
+    /// quarantined after panics (salvage mode only), cap trips, and the
+    /// retained quarantine entries.
+    pub supervision: SupervisionReport,
 }
 
 impl Default for LoadReport {
@@ -168,6 +172,7 @@ impl LoadReport {
             total_latency_ms: 0,
             sim_start_ms: u64::MAX,
             sim_end_ms: 0,
+            supervision: SupervisionReport::new(),
         }
     }
 
@@ -203,6 +208,7 @@ impl LoadReport {
         self.total_latency_ms += other.total_latency_ms;
         self.sim_start_ms = self.sim_start_ms.min(other.sim_start_ms);
         self.sim_end_ms = self.sim_end_ms.max(other.sim_end_ms);
+        self.supervision.merge(&other.supervision);
     }
 
     /// Span of the simulated clock covered by the run, in milliseconds.

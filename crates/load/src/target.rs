@@ -31,6 +31,10 @@ pub struct LoadTarget {
     faults: Option<FaultPlan>,
     /// Client retry posture (no retries by default).
     retry: RetryPolicy,
+    /// Hosts whose mere selection panics the visiting client's chunk —
+    /// deterministic "poisoned work item" injection for supervision tests
+    /// (empty by default; production targets never set this).
+    poison: Vec<DomainName>,
 }
 
 impl LoadTarget {
@@ -74,6 +78,7 @@ impl LoadTarget {
             vanity,
             faults: None,
             retry: RetryPolicy::none(),
+            poison: Vec::new(),
         }
     }
 
@@ -89,6 +94,26 @@ impl LoadTarget {
     pub fn with_retry(mut self, retry: RetryPolicy) -> LoadTarget {
         self.retry = retry;
         self
+    }
+
+    /// Mark hosts as poisoned: any client that picks one to visit panics
+    /// on the spot with a `"poisoned work item"` message. This is the
+    /// deterministic crash fixture the supervision tests drive salvage
+    /// mode with — selection is a pure function of `(seed, client)`, so
+    /// pooled and sequential replays quarantine identical chunks.
+    pub fn with_poison_hosts(mut self, hosts: Vec<DomainName>) -> LoadTarget {
+        self.poison = hosts;
+        self
+    }
+
+    /// True if visiting this host should panic the client.
+    pub fn is_poisoned(&self, host: &DomainName) -> bool {
+        self.poison.contains(host)
+    }
+
+    /// The poisoned hosts, if any.
+    pub fn poison_hosts(&self) -> &[DomainName] {
+        &self.poison
     }
 
     /// The fault plan in force, if any.

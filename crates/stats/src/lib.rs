@@ -25,6 +25,7 @@
 //! assert!(ks.statistic > 0.0);
 //! ```
 
+pub mod checkpoint;
 pub mod descriptive;
 pub mod ecdf;
 pub mod histogram;
@@ -36,9 +37,11 @@ pub mod pool;
 pub mod quantile;
 pub mod rng;
 pub mod sampling;
+pub mod supervision;
 pub mod swar;
 pub mod timeseries;
 
+pub use checkpoint::{CheckpointSink, FileSink, MemorySink};
 pub use descriptive::{mean, population_variance, sample_variance, stddev, Summary};
 pub use ecdf::Ecdf;
 pub use histogram::{CategoryCounter, Histogram};
@@ -52,6 +55,10 @@ pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use sampling::{
     choose, sample_indices_floyd, sample_indices_without_replacement, sample_without_replacement,
     shuffle, weighted_choice,
+};
+pub use supervision::{
+    Quarantine, QuarantineEntry, QuarantinedTask, SupervisionPolicy, SupervisionReport,
+    DEFAULT_QUARANTINE_CAP,
 };
 pub use swar::{
     boundary_mask8, broadcast, eq_mask, find_byte, find_byte2, has_ascii_uppercase,

@@ -30,11 +30,12 @@
 //! the process (there is no shutdown — workers park on a condvar and cost
 //! nothing while idle).
 
+use crate::supervision::Quarantine;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// A lifetime-erased `Fn(usize)` shared by every thread working a batch.
 type Job = dyn Fn(usize) + Sync + 'static;
@@ -67,7 +68,10 @@ impl Batch {
             let job = unsafe { &*self.job };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(index))) {
                 self.panicked.store(true, Ordering::Relaxed);
-                let mut slot = self.panic.lock().expect("batch panic slot poisoned");
+                // Poison-tolerant: a second panic while another thread held
+                // this lock must not turn a diagnosable worker panic into an
+                // opaque poisoned-lock abort — recover the inner value.
+                let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
@@ -211,7 +215,7 @@ impl ThreadPool {
         let payload = batch
             .panic
             .lock()
-            .expect("batch panic slot poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .take();
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -384,6 +388,81 @@ where
     })
 }
 
+/// Render a panic payload as a message for the quarantine. Only string
+/// payloads (the overwhelmingly common case — `panic!("…")`) carry their
+/// text; anything else is recorded generically.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Salvage-mode pool map: like [`par_map_on`], but a panicking task is
+/// caught via `catch_unwind` *inside* its job — the batch is never
+/// poisoned — and recorded as `(index, panic message)` in the returned
+/// [`Quarantine`]. The failed item's slot comes back as `None`; every other
+/// task completes. Results and quarantine contents depend only on
+/// `(items, f)`, never on scheduling: the quarantine is sorted by index
+/// after the sweep drains, so pooled and sequential salvage sweeps are
+/// identical (property-tested, including a forced 3-worker pool).
+pub fn par_map_salvage_on<T, R, F>(
+    pool: &ThreadPool,
+    items: &[T],
+    f: F,
+) -> (Vec<Option<R>>, Quarantine)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let out = par_map_on(pool, items, |index, item| {
+        match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+            Ok(value) => Some(value),
+            Err(payload) => {
+                failures
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((index, panic_message(&payload)));
+                None
+            }
+        }
+    });
+    let failures = failures
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    (out, Quarantine::from_failures(failures))
+}
+
+/// The sequential twin of [`par_map_salvage_on`]: tasks run inline in
+/// input order, panics are caught the same way, and the quarantine comes
+/// back identical — the oracle the salvage equivalence tests compare the
+/// pooled sweep against.
+pub fn map_salvage_seq<T, R, F>(items: &[T], f: F) -> (Vec<Option<R>>, Quarantine)
+where
+    F: Fn(usize, &T) -> R,
+{
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let out = items
+        .iter()
+        .enumerate()
+        .map(
+            |(index, item)| match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+                Ok(value) => Some(value),
+                Err(payload) => {
+                    failures.push((index, panic_message(&payload)));
+                    None
+                }
+            },
+        )
+        .collect();
+    (out, Quarantine::from_failures(failures))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +582,57 @@ mod tests {
             }
             *v
         });
+    }
+
+    #[test]
+    fn salvage_quarantines_panics_and_keeps_the_rest() {
+        let pool = ThreadPool::new(3);
+        let items: Vec<usize> = (0..512).collect();
+        let task = |_: usize, v: &usize| {
+            if v % 100 == 37 {
+                panic!("poisoned work item {v}");
+            }
+            v * 2
+        };
+        let (pooled, pooled_q) = par_map_salvage_on(&pool, &items, task);
+        let (seq, seq_q) = map_salvage_seq(&items, task);
+        assert_eq!(pooled, seq);
+        assert_eq!(pooled_q, seq_q);
+        let indices: Vec<usize> = pooled_q.entries().iter().map(|t| t.index).collect();
+        assert_eq!(indices, vec![37, 137, 237, 337, 437]);
+        assert_eq!(pooled_q.entries()[0].message, "poisoned work item 37");
+        for (i, slot) in pooled.iter().enumerate() {
+            if indices.contains(&i) {
+                assert!(slot.is_none());
+            } else {
+                assert_eq!(*slot, Some(i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_with_zero_panics_matches_fail_fast() {
+        let pool = ThreadPool::global();
+        let items: Vec<u64> = (0..700).collect();
+        let task = |i: usize, v: &u64| v.wrapping_mul(7) ^ i as u64;
+        let (salvaged, quarantine) = par_map_salvage_on(pool, &items, task);
+        assert!(quarantine.is_empty());
+        let fail_fast = par_map_on(pool, &items, task);
+        let unwrapped: Vec<u64> = salvaged.into_iter().map(|s| s.unwrap()).collect();
+        assert_eq!(unwrapped, fail_fast);
+    }
+
+    #[test]
+    fn salvage_records_non_string_payloads_generically() {
+        let items: Vec<usize> = (0..4).collect();
+        let (_, quarantine) = map_salvage_seq(&items, |_, v| {
+            if *v == 2 {
+                std::panic::panic_any(1234usize);
+            }
+            *v
+        });
+        assert_eq!(quarantine.len(), 1);
+        assert_eq!(quarantine.entries()[0].message, "non-string panic payload");
     }
 
     #[test]

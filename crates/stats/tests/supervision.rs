@@ -1,0 +1,81 @@
+//! Salvage-sweep equivalence gates for the pool layer.
+//!
+//! `par_map_salvage_on` must quarantine exactly the tasks that panic —
+//! no more, no fewer — and agree with the inline `map_salvage_seq` twin
+//! on both the surviving outputs and the quarantine contents, across
+//! arbitrary seeds and a forced 3-worker pool (so real cross-thread
+//! panics are pinned even on single-core CI machines).
+
+use proptest::prelude::*;
+use rws_stats::pool::{map_salvage_seq, par_map_salvage_on, ThreadPool};
+use std::sync::Once;
+
+/// Suppress the default panic printout for the panics this suite injects
+/// on purpose; everything else still reports normally.
+fn quiet_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("quarantine me"))
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+proptest! {
+    /// Pooled salvage == sequential salvage: same surviving values in the
+    /// same slots, same quarantined `(index, message)` pairs, for panic
+    /// patterns that vary with the seed.
+    #[test]
+    fn pooled_salvage_matches_sequential_across_seeds(seed in 0u64..1_000_000) {
+        quiet_injected_panics();
+        let items: Vec<u64> = (0..257u64)
+            .map(|i| seed.wrapping_mul(6364136223846793005).wrapping_add(i))
+            .collect();
+        let modulus = 3 + seed % 11;
+        let f = |_: usize, v: &u64| -> u64 {
+            if v.is_multiple_of(modulus) {
+                panic!("quarantine me: {v}");
+            }
+            v.wrapping_mul(2)
+        };
+        let pool = ThreadPool::new(3);
+        let (pooled, pooled_quarantine) = par_map_salvage_on(&pool, &items, f);
+        let (sequential, sequential_quarantine) = map_salvage_seq(&items, f);
+        prop_assert_eq!(&pooled, &sequential);
+        prop_assert_eq!(&pooled_quarantine, &sequential_quarantine);
+        // The quarantine holds exactly the panicking indices, and every
+        // surviving slot holds a value.
+        for (index, item) in items.iter().enumerate() {
+            let quarantined = pooled_quarantine
+                .entries()
+                .iter()
+                .any(|t| t.index == index);
+            prop_assert_eq!(quarantined, item % modulus == 0);
+            prop_assert_eq!(pooled[index].is_none(), item % modulus == 0);
+        }
+    }
+
+    /// With no panics the salvage path degenerates to a plain map: every
+    /// slot survives and the quarantine is empty, pooled and sequential.
+    #[test]
+    fn salvage_without_panics_is_a_plain_map(seed in 0u64..1_000_000) {
+        let items: Vec<u64> = (0..113u64).map(|i| seed.wrapping_add(i)).collect();
+        let pool = ThreadPool::new(3);
+        let (pooled, quarantine) = par_map_salvage_on(&pool, &items, |i, v| v.wrapping_add(i as u64));
+        prop_assert!(quarantine.is_empty());
+        let expected: Vec<Option<u64>> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Some(v.wrapping_add(i as u64)))
+            .collect();
+        prop_assert_eq!(pooled, expected);
+    }
+}

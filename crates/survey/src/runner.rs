@@ -187,23 +187,28 @@ impl SurveyRunner {
         // worker) reads it back.
         let cue_cache = CueCache::new();
         let ids: Vec<usize> = (0..cfg.participants).collect();
-        let sessions: Vec<ParticipantSession> = ctx.par_map_coarse(&ids, |_, id| {
-            run_participant(
-                cfg,
-                corpus,
-                universe,
-                ctx.resolver(),
-                &cue_cache,
-                &base,
-                *id,
-            )
-        });
+        // Supervised sweep: under the default fail-fast policy this is the
+        // plain pooled fan-out; under salvage a panicking participant is
+        // quarantined in the context's monitor and contributes no
+        // responses, like a session the survey platform dropped.
+        let sessions: Vec<Option<ParticipantSession>> =
+            ctx.par_map_supervised("survey", &ids, |_, id| {
+                run_participant(
+                    cfg,
+                    corpus,
+                    universe,
+                    ctx.resolver(),
+                    &cue_cache,
+                    &base,
+                    *id,
+                )
+            });
 
         let mut dataset = SurveyDataset {
             participants_started: cfg.participants,
             ..SurveyDataset::default()
         };
-        for session in sessions {
+        for session in sessions.into_iter().flatten() {
             dataset.responses.extend(session.responses);
             if let Some(report) = session.factor_report {
                 dataset.factor_reports.push(report);
