@@ -12,12 +12,13 @@ use rws_analysis::{PaperReproduction, Scenario, ScenarioConfig};
 use rws_bench::{bench_scenario, domain_pairs};
 use rws_classify::{CategoryDatabase, KeywordAutomaton, KeywordClassifier};
 use rws_corpus::{
-    render_site, Brand, CorpusConfig, CorpusGenerator, Language, RenderArena, SiteCategory,
+    render_site, Brand, Corpus, CorpusConfig, CorpusGenerator, CorpusScale, Language, RenderArena,
+    SiteCategory,
 };
 use rws_domain::levenshtein::{levenshtein_bounded, levenshtein_naive};
 use rws_domain::{DomainName, PublicSuffixList, SiteResolver};
-use rws_engine::EngineContext;
 use rws_engine::SupervisionPolicy;
+use rws_engine::{EngineBackend, EngineContext};
 use rws_github::{HistoryConfig, HistoryGenerator};
 use rws_html::similarity::{
     html_similarity_naive, DocumentProfile, ProfileScratch, SimilarityWeights,
@@ -1085,6 +1086,135 @@ fn main() {
         json!(load_salvage_ns / load_failfast_ns),
     );
 
+    // --- sharded corpus generation: pooled fan-out vs serial baseline ------
+    // A CorpusScale-scaled corpus (2× smoke) rendered into the default
+    // shard count with one pool task per shard, against the single-shard
+    // sequential baseline — the pre-PR-10 generation path. Equivalence is
+    // asserted byte-for-byte before anything is timed; on a single-core
+    // host the ratio degenerates to ~1.0 like every pooled kernel here.
+    let gen_config = CorpusScale::smoke().times(2).config(0x5348_5244); // "SHRD"
+    let gen_ctx = EngineContext::embedded();
+    let gen_sequential_ctx = gen_ctx.sequential_twin();
+    let sharded_generator = CorpusGenerator::new(gen_config);
+    let serial_generator = CorpusGenerator::new(gen_config).with_shards(1);
+    let sharded_corpus = sharded_generator.generate_with(&gen_ctx);
+    let serial_corpus = serial_generator.generate_with(&gen_sequential_ctx);
+    let same_pages = |a: &Corpus, b: &Corpus| {
+        a.frozen.hosts() == b.frozen.hosts()
+            && a.sites.keys().all(|domain| {
+                ["/", "/about", rws_net::WELL_KNOWN_RWS_PATH]
+                    .iter()
+                    .all(|path| {
+                        let url = rws_net::Url::https(domain, path);
+                        a.frozen.serve(&url) == b.frozen.serve(&url)
+                    })
+            })
+    };
+    let sharded_equals_unsharded = sharded_corpus.sites == serial_corpus.sites
+        && sharded_corpus.list == serial_corpus.list
+        && sharded_corpus.tranco == serial_corpus.tranco
+        && same_pages(&sharded_corpus, &serial_corpus);
+    assert!(
+        sharded_equals_unsharded,
+        "sharded generation must be byte-identical to the serial baseline"
+    );
+    let corpus_sharded_ns = measure(|| {
+        black_box(sharded_generator.generate_with(&gen_ctx));
+    });
+    let corpus_serial_ns = measure(|| {
+        black_box(serial_generator.generate_with(&gen_sequential_ctx));
+    });
+    kernels.insert(
+        "corpus_generate_sharded_pooled".into(),
+        json!(corpus_sharded_ns),
+    );
+    kernels.insert(
+        "corpus_generate_serial_baseline".into(),
+        json!(corpus_serial_ns),
+    );
+    speedups.insert(
+        "corpus_sharded_vs_serial".into(),
+        json!(corpus_serial_ns / corpus_sharded_ns),
+    );
+    throughput.insert(
+        "corpus_generate_sites_per_sec".into(),
+        json!(sharded_corpus.sites.len() as f64 * 1e9 / corpus_sharded_ns),
+    );
+
+    // Cross-shard reads: the same >=100k-request load replay, but every
+    // fetch routing shard-then-host through the corpus's sharded store
+    // instead of the PR-7 single table. Reports are asserted identical;
+    // the ratio prices one extra FNV route per request (~1.0).
+    let sharded_load_engine = LoadEngine::new(
+        LoadTarget::from_corpus_sharded(&scenario.corpus),
+        load_scale,
+    );
+    let sharded_load_report = sharded_load_engine.run_on(LOAD_SEED, &load_ctx);
+    assert_eq!(
+        load_report, sharded_load_report,
+        "sharded-store load replay must equal the single-table replay"
+    );
+    let load_sharded_store_ns = measure(|| {
+        black_box(sharded_load_engine.run_on(LOAD_SEED, &load_ctx));
+    });
+    kernels.insert("load_replay_single_store".into(), json!(load_pooled_ns));
+    kernels.insert(
+        "load_replay_sharded_store".into(),
+        json!(load_sharded_store_ns),
+    );
+    speedups.insert(
+        "load_sharded_vs_single_store".into(),
+        json!(load_pooled_ns / load_sharded_store_ns),
+    );
+
+    // Per-shard memory accounting for the scaled corpus: host/page/body
+    // bytes per shard, plus a flatness ratio (max/mean body bytes — ~1.0
+    // means the FNV route spreads the corpus evenly, i.e. per-shard memory
+    // stays flat as the corpus scales).
+    let shard_stats = sharded_corpus.sharded.shard_stats();
+    let body_bytes: Vec<u64> = shard_stats.iter().map(|s| s.body_bytes as u64).collect();
+    let body_max = body_bytes.iter().copied().max().unwrap_or(0);
+    let body_mean = body_bytes.iter().sum::<u64>() as f64 / body_bytes.len().max(1) as f64;
+    let mut corpus_map = Map::new();
+    corpus_map.insert(
+        "shard_count".into(),
+        json!(sharded_corpus.sharded.shard_count() as u64),
+    );
+    corpus_map.insert(
+        "organisations".into(),
+        json!(gen_config.organisations as u64),
+    );
+    corpus_map.insert("sites".into(), json!(sharded_corpus.sites.len() as u64));
+    corpus_map.insert(
+        "per_shard_hosts".into(),
+        json!(shard_stats
+            .iter()
+            .map(|s| s.hosts as u64)
+            .collect::<Vec<_>>()),
+    );
+    corpus_map.insert(
+        "per_shard_pages".into(),
+        json!(shard_stats
+            .iter()
+            .map(|s| s.pages as u64)
+            .collect::<Vec<_>>()),
+    );
+    corpus_map.insert("per_shard_body_bytes".into(), json!(body_bytes));
+    corpus_map.insert("body_bytes_max".into(), json!(body_max));
+    corpus_map.insert("body_bytes_mean".into(), json!(body_mean));
+    corpus_map.insert(
+        "body_bytes_flatness".into(),
+        json!(body_max as f64 / body_mean.max(1.0)),
+    );
+    corpus_map.insert(
+        "sharded_equals_unsharded".into(),
+        json!(sharded_equals_unsharded),
+    );
+    corpus_map.insert(
+        "load_replay_sharded_equals_single".into(),
+        json!(load_report == sharded_load_report),
+    );
+
     let mut resolver_cache = Map::new();
     resolver_cache.insert("hits".into(), json!(resolver_stats.hits));
     resolver_cache.insert("misses".into(), json!(resolver_stats.misses));
@@ -1113,6 +1243,7 @@ fn main() {
         "resolver_cache": Value::Object(resolver_cache),
         "engine": Value::Object(engine),
         "load": Value::Object(load_map),
+        "corpus": Value::Object(corpus_map),
         "resilience": Value::Object(resilience),
         "supervision": Value::Object(supervision),
     });

@@ -4,7 +4,7 @@
 use crate::keyword::KeywordClassifier;
 use rws_corpus::{Corpus, SiteCategory, SiteSpec};
 use rws_domain::DomainName;
-use rws_engine::EngineContext;
+use rws_engine::EngineBackend;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -55,7 +55,7 @@ impl CategoryDatabase {
     /// answer [`SiteCategory::Unknown`], exactly like an unfetchable URL.
     ///
     /// [`SupervisionPolicy`]: rws_engine::SupervisionPolicy
-    pub fn classify_corpus_on(corpus: &Corpus, ctx: &EngineContext) -> CategoryDatabase {
+    pub fn classify_corpus_on<E: EngineBackend>(corpus: &Corpus, ctx: &E) -> CategoryDatabase {
         let classifier = KeywordClassifier::new();
         let sites: Vec<&SiteSpec> = corpus.sites.values().collect();
         let categories: Vec<Option<SiteCategory>> =
@@ -183,6 +183,7 @@ fn site_category(classifier: &KeywordClassifier, corpus: &Corpus, spec: &SiteSpe
 mod tests {
     use super::*;
     use rws_corpus::{CorpusConfig, CorpusGenerator};
+    use rws_engine::EngineContext;
 
     fn dn(s: &str) -> DomainName {
         DomainName::parse(s).unwrap()

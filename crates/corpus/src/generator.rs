@@ -21,10 +21,11 @@ use crate::render::RenderArena;
 use crate::site::{Language, SiteRole, SiteSpec};
 use crate::tranco::TrancoList;
 use rws_domain::DomainName;
-use rws_engine::EngineContext;
+use rws_engine::{EngineBackend, EngineContext};
 use rws_model::{RwsList, RwsSet, WellKnownFile};
-use rws_net::{FrozenWeb, SimulatedWeb, SiteHost, WELL_KNOWN_RWS_PATH};
+use rws_net::{FrozenWeb, ShardedFrozenWeb, SimulatedWeb, SiteHost, WELL_KNOWN_RWS_PATH};
 use rws_stats::rng::{Rng, Xoshiro256StarStar};
+use rws_stats::shard::ShardRouter;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
@@ -123,15 +124,21 @@ pub struct Corpus {
     /// The Tranco-style top-site ranking (non-RWS sites only).
     pub tranco: TrancoList,
     /// The simulated web holding every site's pages and well-known files.
-    /// Frozen by construction: generation registers every host and then
-    /// freezes, so later writes (the governance replay's defect hosts) land
-    /// in an overlay without disturbing the snapshot below.
+    /// Frozen by construction: generation renders every host into the
+    /// sharded store and this web reads through it, so later writes (the
+    /// governance replay's defect hosts) land in an overlay without
+    /// disturbing the snapshot below.
     pub web: SimulatedWeb,
-    /// The frozen page store: the immutable snapshot `web` was frozen into
-    /// at the end of generation. Reads take no lock and borrow straight
-    /// from the interned pages — the classifier, the Figure 4 sweeps and
-    /// the benches all read through here.
+    /// The frozen page store as one table: the immutable snapshot
+    /// generation collapsed the shards into. Reads take no lock and borrow
+    /// straight from the interned pages — the classifier, the Figure 4
+    /// sweeps and the benches all read through here.
     pub frozen: FrozenWeb,
+    /// The same store, sharded as generated: N per-shard host tables
+    /// routed by the FNV-1a domain hash. Page bodies are shared with
+    /// `frozen` (interned once), so keeping both views costs table
+    /// entries, not page payloads.
+    pub sharded: ShardedFrozenWeb,
 }
 
 impl Corpus {
@@ -235,12 +242,36 @@ fn pick_category<R: Rng + ?Sized>(weights: &[(SiteCategory, f64)], rng: &mut R) 
 /// The corpus generator.
 pub struct CorpusGenerator {
     config: CorpusConfig,
+    /// How many shards the page store is generated into. Deliberately
+    /// *not* part of [`CorpusConfig`]: the shard count is an execution
+    /// detail (like the pool width) and must never influence an output
+    /// byte, so it stays off the serialized, seed-bearing configuration.
+    shards: usize,
 }
 
 impl CorpusGenerator {
-    /// Create a generator from a configuration.
+    /// Create a generator from a configuration. The store shard count
+    /// defaults to [`rws_stats::shard::store_shard_count`] (the
+    /// `RWS_STORE_SHARDS` env override, 8 otherwise).
     pub fn new(config: CorpusConfig) -> CorpusGenerator {
-        CorpusGenerator { config }
+        CorpusGenerator {
+            config,
+            shards: rws_stats::shard::store_shard_count(),
+        }
+    }
+
+    /// Override the store shard count (≥ 1). A count of 1 is the
+    /// unsharded serial baseline: one shard holding every host, rendered
+    /// by a single task.
+    pub fn with_shards(mut self, shards: usize) -> CorpusGenerator {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards;
+        self
+    }
+
+    /// The configured store shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     /// Generate the full corpus on a default (embedded-snapshot) context.
@@ -248,11 +279,11 @@ impl CorpusGenerator {
         self.generate_with(&EngineContext::embedded())
     }
 
-    /// Generate the full corpus, resolving sites through the context's
+    /// Generate the full corpus, resolving sites through the backend's
     /// shared [`rws_engine::SiteResolver`] and rendering pages on its pool.
     /// Output bytes depend only on the configuration — never on the
-    /// context's execution mode.
-    pub fn generate_with(&self, ctx: &EngineContext) -> Corpus {
+    /// backend's execution mode or the shard count.
+    pub fn generate_with<E: EngineBackend>(&self, ctx: &E) -> Corpus {
         let cfg = self.config;
         let resolver = ctx.resolver();
         let mut rng = Xoshiro256StarStar::new(cfg.seed).derive("corpus");
@@ -260,7 +291,6 @@ impl CorpusGenerator {
         let mut sites: BTreeMap<DomainName, SiteSpec> = BTreeMap::new();
         let mut organisations = Vec::new();
         let mut rws_sets = Vec::new();
-        let mut web = SimulatedWeb::new();
 
         // --- Organisations and their Related Website Sets -----------------
         for org_id in 0..cfg.organisations {
@@ -460,56 +490,40 @@ impl CorpusGenerator {
         }
         let tranco = TrancoList::from_ranked(tranco_entries);
 
-        // --- Populate the simulated web ------------------------------------
+        // --- Populate the sharded page store -------------------------------
         // Per-site work (template rendering dominates) is independent: each
-        // site draws from an rng stream derived from its own domain, so the
-        // hosts can be built in parallel and registered in order without
-        // changing a single output byte. Each worker renders through its own
-        // reusable RenderArena — pages build up in one warm buffer and the
-        // finished bytes are interned into the PageBody in a single copy.
-        let specs: Vec<&SiteSpec> = sites.values().collect();
-        let hosts = ctx.par_map_with(RenderArena::new(), &specs, |arena, _, spec| {
-            let mut host = SiteHost::for_domain(spec.domain.clone());
-            if !spec.live {
-                host.set_offline(true);
-            }
-            let mut page_rng = rng.derive(spec.domain.as_str());
-            let html = arena.render_site_into(
-                &spec.domain,
-                &spec.brand,
-                spec.category,
-                spec.language,
-                &mut page_rng,
-            );
-            host.add_page("/", html);
-            host.add_page(
-                "/about",
-                arena.render_about_page_into(&spec.domain, &spec.brand, spec.language),
-            );
-            // RWS members serve their well-known files; service sites also
-            // carry the X-Robots-Tag header the validator checks for.
-            if let Some(set) = list.set_for(&spec.domain) {
-                let wk = if set.primary() == &spec.domain {
-                    WellKnownFile::for_primary(set)
-                } else {
-                    WellKnownFile::for_member(set.primary())
-                };
-                host.add_json(WELL_KNOWN_RWS_PATH, wk.to_json_string());
-                if spec.role == SiteRole::SetService {
-                    host.add_header("/", "X-Robots-Tag", "noindex");
-                    host.add_header(WELL_KNOWN_RWS_PATH, "X-Robots-Tag", "noindex");
-                }
-            }
-            host
-        });
-        for host in hosts {
-            web.register(host);
+        // site draws from an rng stream derived from its own domain
+        // (`derive` reads the parent rng without consuming it), so hosts
+        // can be rendered in any order without changing a single output
+        // byte. Sites are routed to shards by the same FNV-1a domain hash
+        // the store reads with, and one pool task renders each shard's
+        // sites in sorted order through its own reusable RenderArena —
+        // pages build up in one warm buffer per worker and the finished
+        // bytes are interned into the PageBody in a single copy. The
+        // per-shard tables are then stitched into a ShardedFrozenWeb; the
+        // shard count never feeds the rng, so every count (including the
+        // 1-shard serial baseline) is byte-for-byte identical.
+        let router = ShardRouter::new(self.shards);
+        let mut shard_specs: Vec<Vec<&SiteSpec>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for spec in sites.values() {
+            shard_specs[router.route(&spec.domain)].push(spec);
         }
-        // Build phase over: freeze the page store. Every page body was
+        let shard_tables = ctx.par_map_coarse(&shard_specs, |_, specs| {
+            let mut arena = RenderArena::new();
+            FrozenWeb::from_hosts(
+                specs
+                    .iter()
+                    .map(|spec| render_host(&mut arena, spec, &rng, &list)),
+            )
+        });
+        let sharded = ShardedFrozenWeb::from_routed_shards(shard_tables);
+        // Build phase over: the store is frozen. Every page body was
         // interned exactly once above; from here on the corpus is a
-        // read-mostly snapshot (lock-free borrows), and anything the
-        // governance replay registers later lives in the web's overlay.
-        let frozen = web.freeze();
+        // read-mostly snapshot (lock-free borrows). The web reads through
+        // the sharded store, and anything the governance replay registers
+        // later lives in its overlay.
+        let frozen = sharded.collapse();
+        let web = SimulatedWeb::from_sharded(sharded.clone());
 
         Corpus {
             config: cfg,
@@ -519,6 +533,7 @@ impl CorpusGenerator {
             tranco,
             web,
             frozen,
+            sharded,
         }
     }
 
@@ -578,6 +593,50 @@ impl CorpusGenerator {
         // which no longer has an identical SLD but keeps generation total.
         self.fresh_domain(&format!("{sld}app"), Language::English, used, rng)
     }
+}
+
+/// Render one site's host: pages, well-known file, headers. Pure in
+/// `(spec, rng, list)` — the per-site rng stream is derived from the
+/// *shared* post-spec-phase rng by domain, so the result is independent
+/// of which shard task (or thread) runs it.
+fn render_host(
+    arena: &mut RenderArena,
+    spec: &SiteSpec,
+    rng: &Xoshiro256StarStar,
+    list: &RwsList,
+) -> SiteHost {
+    let mut host = SiteHost::for_domain(spec.domain.clone());
+    if !spec.live {
+        host.set_offline(true);
+    }
+    let mut page_rng = rng.derive(spec.domain.as_str());
+    let html = arena.render_site_into(
+        &spec.domain,
+        &spec.brand,
+        spec.category,
+        spec.language,
+        &mut page_rng,
+    );
+    host.add_page("/", html);
+    host.add_page(
+        "/about",
+        arena.render_about_page_into(&spec.domain, &spec.brand, spec.language),
+    );
+    // RWS members serve their well-known files; service sites also
+    // carry the X-Robots-Tag header the validator checks for.
+    if let Some(set) = list.set_for(&spec.domain) {
+        let wk = if set.primary() == &spec.domain {
+            WellKnownFile::for_primary(set)
+        } else {
+            WellKnownFile::for_member(set.primary())
+        };
+        host.add_json(WELL_KNOWN_RWS_PATH, wk.to_json_string());
+        if spec.role == SiteRole::SetService {
+            host.add_header("/", "X-Robots-Tag", "noindex");
+            host.add_header(WELL_KNOWN_RWS_PATH, "X-Robots-Tag", "noindex");
+        }
+    }
+    host
 }
 
 fn brand_stem<R: Rng + ?Sized>(rng: &mut R) -> &'static str {

@@ -1,0 +1,95 @@
+//! The corpus-scale knob, mirroring `SurveyScale` and `LoadScale`.
+
+use crate::generator::CorpusConfig;
+use serde::{Deserialize, Serialize};
+
+/// How big a generated corpus is.
+///
+/// Mirrors `rws_survey::SurveyScale` / `rws_load::LoadScale`: a small
+/// base size plus a [`times`](CorpusScale::times) multiplier, so tests
+/// generate in milliseconds while the bench trajectory measures
+/// generation throughput (sites/sec, sharded vs. serial) on corpora an
+/// order of magnitude larger — from the same code path. Only *sizes*
+/// live here; the calibration rates stay on [`CorpusConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusScale {
+    /// Number of organisations (Related Website Sets).
+    pub organisations: usize,
+    /// Number of Tranco-style top sites outside the RWS list.
+    pub top_sites: usize,
+}
+
+impl CorpusScale {
+    /// The paper's calibrated size: 41 sets, 1500 top sites.
+    pub fn paper() -> CorpusScale {
+        CorpusScale {
+            organisations: 41,
+            top_sites: 1500,
+        }
+    }
+
+    /// A small smoke-test scale, matching [`CorpusConfig::small`].
+    pub fn smoke() -> CorpusScale {
+        CorpusScale {
+            organisations: 10,
+            top_sites: 120,
+        }
+    }
+
+    /// Scale both site populations by `factor`.
+    pub fn times(self, factor: usize) -> CorpusScale {
+        CorpusScale {
+            organisations: self.organisations * factor,
+            top_sites: self.top_sites * factor,
+        }
+    }
+
+    /// Apply this scale to a configuration, keeping every calibration
+    /// rate (and the seed) untouched.
+    pub fn apply(self, config: CorpusConfig) -> CorpusConfig {
+        CorpusConfig {
+            organisations: self.organisations,
+            top_sites: self.top_sites,
+            ..config
+        }
+    }
+
+    /// A config at this scale with the given seed and default rates.
+    pub fn config(self, seed: u64) -> CorpusConfig {
+        self.apply(CorpusConfig {
+            seed,
+            ..CorpusConfig::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_scales_both_populations() {
+        let base = CorpusScale::smoke();
+        let scaled = base.times(3);
+        assert_eq!(scaled.organisations, base.organisations * 3);
+        assert_eq!(scaled.top_sites, base.top_sites * 3);
+    }
+
+    #[test]
+    fn apply_keeps_rates_and_seed() {
+        let config = CorpusConfig::small(77);
+        let scaled = CorpusScale::paper().apply(config);
+        assert_eq!(scaled.seed, 77);
+        assert_eq!(scaled.organisations, 41);
+        assert_eq!(scaled.top_sites, 1500);
+        assert_eq!(scaled.prob_live, config.prob_live);
+        assert_eq!(scaled.prob_english_org, config.prob_english_org);
+    }
+
+    #[test]
+    fn smoke_matches_small_config() {
+        let small = CorpusConfig::small(5);
+        let scaled = CorpusScale::smoke().config(5);
+        assert_eq!(small, scaled);
+    }
+}

@@ -5,7 +5,7 @@ use rws_domain::DomainName;
 use rws_model::RwsList;
 use rws_net::{
     FaultInjector, FaultPlan, FetchPolicy, Fetcher, FrozenWeb, PageContent, RetryPolicy,
-    SimulatedWeb, SiteHost,
+    ShardedFrozenWeb, SimulatedWeb, SiteHost,
 };
 
 /// Number of vanity entry hosts registered per target (bounded by the
@@ -24,6 +24,12 @@ const VANITY_HOSTS: usize = 48;
 #[derive(Debug, Clone)]
 pub struct LoadTarget {
     frozen: FrozenWeb,
+    /// When built from a sharded store, the sharded view of the same
+    /// snapshot (universe + vanity hosts, identical contents to `frozen`).
+    /// Fetchers read through it, so every request routes shard-then-host —
+    /// the cross-shard-read path the bench trajectory times against the
+    /// single-table baseline.
+    sharded: Option<ShardedFrozenWeb>,
     list: RwsList,
     hosts: Vec<DomainName>,
     vanity: Vec<DomainName>,
@@ -43,36 +49,43 @@ impl LoadTarget {
         LoadTarget::from_frozen(corpus.frozen.clone(), corpus.list.clone())
     }
 
+    /// Target the *sharded* store of a generated corpus: identical
+    /// contents to [`from_corpus`](LoadTarget::from_corpus), but fetchers
+    /// resolve every request shard-then-host.
+    pub fn from_corpus_sharded(corpus: &Corpus) -> LoadTarget {
+        LoadTarget::from_sharded(corpus.sharded.clone(), corpus.list.clone())
+    }
+
     /// Target an arbitrary frozen snapshot and list.
     pub fn from_frozen(frozen: FrozenWeb, list: RwsList) -> LoadTarget {
         let hosts = frozen.hosts();
-        let vanity_count = if hosts.is_empty() {
-            0
-        } else {
-            VANITY_HOSTS.min(hosts.len())
-        };
         let mut web = SimulatedWeb::from_frozen(frozen);
-        let mut vanity = Vec::with_capacity(vanity_count);
-        for i in 0..vanity_count {
-            // Deterministic spread of redirect destinations over the
-            // universe; 37 is coprime to most small sizes so consecutive
-            // entries land far apart.
-            let destination = &hosts[(i * 37) % hosts.len()];
-            let name = format!("go{i}.load-entry.example");
-            let domain = DomainName::parse(&name).expect("vanity host name is valid");
-            let mut host = SiteHost::for_domain(domain.clone());
-            host.add_content(
-                "/",
-                PageContent::Redirect {
-                    location: format!("https://{destination}/"),
-                    permanent: i % 2 == 0,
-                },
-            );
-            web.register(host);
-            vanity.push(domain);
-        }
+        let vanity = register_vanity_hosts(&mut web, &hosts);
         LoadTarget {
             frozen: web.freeze(),
+            sharded: None,
+            list,
+            hosts,
+            vanity,
+            faults: None,
+            retry: RetryPolicy::none(),
+            poison: Vec::new(),
+        }
+    }
+
+    /// Target an arbitrary sharded snapshot and list. Vanity entry hosts
+    /// land in an overlay that is re-frozen *sharded*, preserving the
+    /// store's shard count, so the whole universe (redirects included)
+    /// reads through shard routing.
+    pub fn from_sharded(sharded: ShardedFrozenWeb, list: RwsList) -> LoadTarget {
+        let hosts = sharded.hosts();
+        let shard_count = sharded.shard_count();
+        let mut web = SimulatedWeb::from_sharded(sharded);
+        let vanity = register_vanity_hosts(&mut web, &hosts);
+        let resharded = web.freeze_sharded(shard_count);
+        LoadTarget {
+            frozen: resharded.collapse(),
+            sharded: Some(resharded),
             list,
             hosts,
             vanity,
@@ -137,9 +150,22 @@ impl LoadTarget {
         &self.vanity
     }
 
-    /// The frozen snapshot the run serves from (universe + vanity hosts).
+    /// The frozen snapshot the run serves from (universe + vanity hosts),
+    /// as a single table. For sharded targets this is the collapsed view;
+    /// fetchers still read through the shards.
     pub fn frozen(&self) -> &FrozenWeb {
         &self.frozen
+    }
+
+    /// The sharded store fetchers read through, when this target was
+    /// built from one.
+    pub fn sharded(&self) -> Option<&ShardedFrozenWeb> {
+        self.sharded.as_ref()
+    }
+
+    /// The store's shard count, when sharded.
+    pub fn shard_count(&self) -> Option<usize> {
+        self.sharded.as_ref().map(ShardedFrozenWeb::shard_count)
     }
 
     /// The RWS list partitioning decisions consult.
@@ -151,16 +177,46 @@ impl LoadTarget {
     /// atomic request accounting), its own counter family — so each run's
     /// `wire_requests` starts at zero.
     pub fn fetcher(&self) -> Fetcher {
-        let mut fetcher = Fetcher::with_policy(
-            SimulatedWeb::from_frozen(self.frozen.clone()),
-            FetchPolicy::default(),
-        );
+        let web = match &self.sharded {
+            Some(sharded) => SimulatedWeb::from_sharded(sharded.clone()),
+            None => SimulatedWeb::from_frozen(self.frozen.clone()),
+        };
+        let mut fetcher = Fetcher::with_policy(web, FetchPolicy::default());
         fetcher.set_retry(self.retry);
         if let Some(plan) = self.faults {
             fetcher.set_fault_injector(Some(FaultInjector::new(plan)));
         }
         fetcher
     }
+}
+
+/// Register the deterministic vanity entry hosts over `web` and return
+/// their domains. The spread over the universe (stride 37, coprime to
+/// most small sizes) is shared between single-table and sharded targets,
+/// so both build byte-identical redirect pages.
+fn register_vanity_hosts(web: &mut SimulatedWeb, hosts: &[DomainName]) -> Vec<DomainName> {
+    let vanity_count = if hosts.is_empty() {
+        0
+    } else {
+        VANITY_HOSTS.min(hosts.len())
+    };
+    let mut vanity = Vec::with_capacity(vanity_count);
+    for i in 0..vanity_count {
+        let destination = &hosts[(i * 37) % hosts.len()];
+        let name = format!("go{i}.load-entry.example");
+        let domain = DomainName::parse(&name).expect("vanity host name is valid");
+        let mut host = SiteHost::for_domain(domain.clone());
+        host.add_content(
+            "/",
+            PageContent::Redirect {
+                location: format!("https://{destination}/"),
+                permanent: i % 2 == 0,
+            },
+        );
+        web.register(host);
+        vanity.push(domain);
+    }
+    vanity
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! Load runs against a sharded store ≡ runs against the single table.
+//!
+//! `LoadTarget::from_corpus_sharded` routes every fetch shard-then-host
+//! through the corpus's [`ShardedFrozenWeb`]; `from_corpus` reads the
+//! collapsed single table. The store layout is an execution detail, so a
+//! replay over either target must produce the identical `LoadReport` —
+//! sequentially and on a forced 3-worker pool (the repo's convention:
+//! single-core CI drains the global pool inline, so the pool is forced).
+
+use rws_corpus::{Corpus, CorpusConfig, CorpusGenerator};
+use rws_engine::{EngineContext, SiteResolver, ThreadPool};
+use rws_load::{LoadEngine, LoadScale, LoadTarget};
+use rws_net::Url;
+
+fn corpus_with_shards(seed: u64, shards: usize) -> Corpus {
+    CorpusGenerator::new(CorpusConfig::small(seed))
+        .with_shards(shards)
+        .generate()
+}
+
+#[test]
+fn sharded_target_mirrors_the_single_table_target() {
+    let corpus = corpus_with_shards(11, 7);
+    let single = LoadTarget::from_corpus(&corpus);
+    let sharded = LoadTarget::from_corpus_sharded(&corpus);
+
+    assert_eq!(sharded.shard_count(), Some(7));
+    assert_eq!(single.shard_count(), None);
+    assert_eq!(single.hosts(), sharded.hosts());
+    assert_eq!(single.vanity(), sharded.vanity());
+
+    // Both targets serve the identical snapshot: every universe front page
+    // and every vanity redirect, byte for byte.
+    for host in single.hosts().iter().chain(single.vanity()) {
+        let url = Url::https(host, "/");
+        assert_eq!(
+            single.frozen().serve(&url),
+            sharded.frozen().serve(&url),
+            "snapshot divergence on {url}"
+        );
+        let store = sharded.sharded().unwrap();
+        assert_eq!(
+            store.serve(&url),
+            single.frozen().serve(&url),
+            "shard-routed read diverged on {url}"
+        );
+    }
+}
+
+#[test]
+fn load_replay_over_shards_equals_single_table_replay() {
+    for seed in [3u64, 71] {
+        let corpus = corpus_with_shards(seed % 13, 7);
+        let single = LoadEngine::new(LoadTarget::from_corpus(&corpus), LoadScale::smoke());
+        let sharded = LoadEngine::new(LoadTarget::from_corpus_sharded(&corpus), LoadScale::smoke());
+
+        let pooled_ctx = EngineContext::with_parts(ThreadPool::new(3), SiteResolver::full());
+        let inline_ctx = pooled_ctx.sequential_twin();
+
+        let baseline = single.run_on(seed, &inline_ctx);
+        assert_eq!(
+            sharded.run_on(seed, &inline_ctx),
+            baseline,
+            "sequential sharded vs single, seed {seed}"
+        );
+        assert_eq!(
+            sharded.run_on(seed, &pooled_ctx),
+            baseline,
+            "pooled sharded vs sequential single, seed {seed}"
+        );
+        assert!(baseline.fetch_calls > 0);
+        assert!(baseline.redirects_followed > 0);
+    }
+}

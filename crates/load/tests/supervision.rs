@@ -10,6 +10,7 @@
 
 use proptest::prelude::*;
 use rws_domain::SiteResolver;
+use rws_engine::EngineBackend;
 use rws_engine::EngineContext;
 use rws_load::{
     CheckpointSink, FaultPlan, FaultScale, LoadEngine, LoadScale, LoadTarget, MemorySink,

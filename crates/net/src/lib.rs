@@ -46,6 +46,7 @@ pub mod fault;
 pub mod fetcher;
 pub mod headers;
 pub mod message;
+pub mod store;
 pub mod url;
 pub mod web;
 pub mod well_known;
@@ -55,6 +56,7 @@ pub use fault::{Fault, FaultInjector, FaultPlan, FaultScale, FetchSession};
 pub use fetcher::{FetchOutcome, FetchPolicy, Fetcher, RetryPolicy};
 pub use headers::HeaderMap;
 pub use message::{Method, Request, Response, StatusCode};
+pub use store::{ShardedFrozenWeb, StoreStats};
 pub use url::Url;
 pub use web::{FrozenWeb, LatencyModel, PageBody, PageContent, ServedPage, SimulatedWeb, SiteHost};
 pub use well_known::{well_known_path, WELL_KNOWN_RWS_PATH, X_ROBOTS_TAG};

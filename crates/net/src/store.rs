@@ -1,0 +1,315 @@
+//! The sharded frozen page store.
+//!
+//! A single [`FrozenWeb`] is one `Arc<HashMap>` — perfect for lock-free
+//! reads, but a serial wall at *generation* time: the whole host table
+//! must be rendered before anything downstream starts. A
+//! [`ShardedFrozenWeb`] splits the table into N independent
+//! [`FrozenWeb`] shards routed by the workspace's FNV-1a host hash (the
+//! same [`ShardRouter`] the memo tables use), so corpus generation can
+//! fan one pool task per shard and the per-shard tables stay flat as
+//! the corpus scales.
+//!
+//! The read surface is identical to [`FrozenWeb`] — `host`, `page_html`,
+//! `page_body`, `serve` keep their signatures and still hand out genuine
+//! borrows. A read resolves shard-then-host: one mask/modulo on the key
+//! hash, then the shard's plain `HashMap` lookup. No lock appears
+//! anywhere on the path, and cloning the whole sharded store is a single
+//! refcount bump.
+
+use std::sync::Arc;
+
+use rws_domain::DomainName;
+use rws_stats::shard::ShardRouter;
+
+use crate::url::Url;
+use crate::web::{FrozenWeb, PageBody, ServedPage, SimulatedWeb, SiteHost};
+
+/// Size accounting for one frozen shard (or a whole table), used by the
+/// bench trajectory's per-shard memory block. `body_bytes` counts the
+/// interned page payloads — because bodies are interned `Bytes`, two
+/// stores sharing hosts share those buffers and the sum is an upper
+/// bound on exclusive ownership.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Hosts in the table.
+    pub hosts: usize,
+    /// Pages across all hosts.
+    pub pages: usize,
+    /// Total interned body bytes across all pages.
+    pub body_bytes: usize,
+}
+
+impl StoreStats {
+    fn add_host(&mut self, host: &SiteHost) {
+        self.hosts += 1;
+        for path in host.paths() {
+            self.pages += 1;
+            if let Some(body) = host.page_body(path) {
+                self.body_bytes += body.len();
+            }
+        }
+    }
+}
+
+/// An immutable host table partitioned over N [`FrozenWeb`] shards.
+///
+/// Hosts route to shards by the FNV-1a hash of their [`DomainName`] —
+/// the exact assignment [`ShardRouter`] computes — so a domain's shard
+/// is stable across platforms, processes, and shard-local generation
+/// order. Any shard count ≥ 1 is valid; power-of-two counts route with
+/// a mask, others with a modulo. A count of 1 is the unsharded baseline
+/// (one shard holding everything), which the equivalence property tests
+/// lean on.
+#[derive(Debug, Clone)]
+pub struct ShardedFrozenWeb {
+    shards: Arc<Vec<FrozenWeb>>,
+    router: ShardRouter,
+}
+
+impl ShardedFrozenWeb {
+    /// Freeze an explicit host table into `shard_count` shards.
+    pub fn from_hosts<I: IntoIterator<Item = SiteHost>>(
+        hosts: I,
+        shard_count: usize,
+    ) -> ShardedFrozenWeb {
+        let router = ShardRouter::new(shard_count);
+        let mut buckets: Vec<Vec<SiteHost>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for host in hosts {
+            buckets[router.route(host.domain())].push(host);
+        }
+        ShardedFrozenWeb {
+            shards: Arc::new(buckets.into_iter().map(FrozenWeb::from_hosts).collect()),
+            router,
+        }
+    }
+
+    /// Reshard an existing single-table snapshot. Host clones are bundles
+    /// of refcount bumps (interned bodies, shared header maps), so this
+    /// duplicates table entries, not page payloads.
+    pub fn from_frozen(frozen: &FrozenWeb, shard_count: usize) -> ShardedFrozenWeb {
+        ShardedFrozenWeb::from_hosts(frozen.iter_hosts().map(|(_, h)| h.clone()), shard_count)
+    }
+
+    /// Assemble from per-shard tables that were *already routed* — the
+    /// concurrent corpus generator builds each shard's `FrozenWeb` on its
+    /// own pool task and stitches them here. Debug builds verify every
+    /// host actually lives on its routed shard.
+    pub fn from_routed_shards(shards: Vec<FrozenWeb>) -> ShardedFrozenWeb {
+        assert!(!shards.is_empty(), "at least one shard required");
+        let router = ShardRouter::new(shards.len());
+        debug_assert!(shards.iter().enumerate().all(|(idx, shard)| {
+            shard
+                .iter_hosts()
+                .all(|(domain, _)| router.route(domain) == idx)
+        }));
+        ShardedFrozenWeb {
+            shards: Arc::new(shards),
+            router,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `host` routes to.
+    pub fn shard_of(&self, host: &DomainName) -> usize {
+        self.router.route(host)
+    }
+
+    /// The per-shard tables, in shard order.
+    pub fn shards(&self) -> &[FrozenWeb] {
+        &self.shards
+    }
+
+    /// The host registered under `host`, if any. Lock-free: one hash to
+    /// pick the shard, then the shard's map lookup.
+    pub fn host(&self, host: &DomainName) -> Option<&SiteHost> {
+        self.shards[self.router.route(host)].host(host)
+    }
+
+    /// True if a host with this name exists.
+    pub fn has_host(&self, host: &DomainName) -> bool {
+        self.host(host).is_some()
+    }
+
+    /// Number of hosts across all shards.
+    pub fn host_count(&self) -> usize {
+        self.shards.iter().map(FrozenWeb::host_count).sum()
+    }
+
+    /// All host names, sorted (across shards — same order a single-table
+    /// [`FrozenWeb::hosts`] would produce).
+    pub fn hosts(&self) -> Vec<DomainName> {
+        let mut hosts: Vec<DomainName> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.iter_hosts().map(|(d, _)| d.clone()))
+            .collect();
+        hosts.sort();
+        hosts
+    }
+
+    /// The interned body a host serves at `path`, borrowed from the
+    /// snapshot.
+    pub fn page_body(&self, host: &DomainName, path: &str) -> Option<&PageBody> {
+        self.host(host).and_then(|h| h.page_body(path))
+    }
+
+    /// The HTML a host serves at `path`, borrowed from the snapshot.
+    pub fn page_html(&self, host: &DomainName, path: &str) -> Option<&str> {
+        self.host(host).and_then(|h| h.page_html(path))
+    }
+
+    /// Resolve what a host would serve for a URL — identical semantics to
+    /// [`FrozenWeb::serve`], routed shard-then-host.
+    pub fn serve(&self, url: &Url) -> ServedPage {
+        self.shards[self.router.route(&url.host)].serve(url)
+    }
+
+    /// Collapse the shards back into one single-table [`FrozenWeb`].
+    /// Table entries are cloned (refcount bumps); interned bodies are
+    /// shared with the sharded store.
+    pub fn collapse(&self) -> FrozenWeb {
+        FrozenWeb::from_hosts(
+            self.shards
+                .iter()
+                .flat_map(|s| s.iter_hosts().map(|(_, h)| h.clone())),
+        )
+    }
+
+    /// A mutable web view over this sharded snapshot: reads fall through
+    /// to the shards, writes land in a fresh overlay.
+    pub fn to_web(&self) -> SimulatedWeb {
+        SimulatedWeb::from_sharded(self.clone())
+    }
+
+    /// True when `other` shares this store's shard vector (refcount
+    /// identity, not deep comparison).
+    pub fn ptr_eq(&self, other: &ShardedFrozenWeb) -> bool {
+        Arc::ptr_eq(&self.shards, &other.shards)
+    }
+
+    /// Per-shard size accounting, in shard order — the numbers behind the
+    /// bench trajectory's flat-per-shard-memory claim.
+    pub fn shard_stats(&self) -> Vec<StoreStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut stats = StoreStats::default();
+                for (_, host) in shard.iter_hosts() {
+                    stats.add_host(host);
+                }
+                stats
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_with_page(name: &str, path: &str, html: &str) -> SiteHost {
+        let mut host = SiteHost::new(name).unwrap();
+        host.add_page(path, html);
+        host
+    }
+
+    fn sample_hosts(n: usize) -> Vec<SiteHost> {
+        (0..n)
+            .map(|i| host_with_page(&format!("site-{i}.example"), "/", &format!("<p>{i}</p>")))
+            .collect()
+    }
+
+    #[test]
+    fn routes_and_serves_like_single_table() {
+        let single = FrozenWeb::from_hosts(sample_hosts(40));
+        for count in [1usize, 2, 7, 16] {
+            let sharded = ShardedFrozenWeb::from_frozen(&single, count);
+            assert_eq!(sharded.shard_count(), count);
+            assert_eq!(sharded.host_count(), single.host_count());
+            assert_eq!(sharded.hosts(), single.hosts());
+            for domain in single.hosts() {
+                assert!(sharded.has_host(&domain));
+                assert_eq!(
+                    sharded.page_html(&domain, "/"),
+                    single.page_html(&domain, "/")
+                );
+                assert!(sharded.shard_of(&domain) < count);
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_round_trips() {
+        let single = FrozenWeb::from_hosts(sample_hosts(25));
+        let collapsed = ShardedFrozenWeb::from_frozen(&single, 7).collapse();
+        assert_eq!(collapsed.hosts(), single.hosts());
+        for domain in single.hosts() {
+            assert_eq!(
+                collapsed.page_html(&domain, "/"),
+                single.page_html(&domain, "/")
+            );
+        }
+    }
+
+    #[test]
+    fn bodies_are_shared_not_copied() {
+        let single = FrozenWeb::from_hosts(sample_hosts(5));
+        let sharded = ShardedFrozenWeb::from_frozen(&single, 2);
+        for domain in single.hosts() {
+            let a = single.page_body(&domain, "/").unwrap();
+            let b = sharded.page_body(&domain, "/").unwrap();
+            assert!(
+                std::ptr::eq(a.as_bytes().as_ptr(), b.as_bytes().as_ptr()),
+                "sharding must bump refcounts, not copy page payloads"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_is_identity() {
+        let sharded = ShardedFrozenWeb::from_hosts(sample_hosts(10), 4);
+        let clone = sharded.clone();
+        assert!(sharded.ptr_eq(&clone));
+        assert!(!sharded.ptr_eq(&ShardedFrozenWeb::from_hosts(sample_hosts(10), 4)));
+    }
+
+    #[test]
+    fn shard_stats_cover_every_host_and_byte() {
+        let hosts = sample_hosts(30);
+        let total_bytes: usize = hosts
+            .iter()
+            .map(|h| h.page_body("/").map_or(0, |b| b.len()))
+            .sum();
+        let sharded = ShardedFrozenWeb::from_hosts(hosts, 7);
+        let stats = sharded.shard_stats();
+        assert_eq!(stats.len(), 7);
+        assert_eq!(stats.iter().map(|s| s.hosts).sum::<usize>(), 30);
+        assert_eq!(stats.iter().map(|s| s.pages).sum::<usize>(), 30);
+        assert_eq!(
+            stats.iter().map(|s| s.body_bytes).sum::<usize>(),
+            total_bytes
+        );
+    }
+
+    #[test]
+    fn from_routed_shards_matches_from_hosts() {
+        let hosts = sample_hosts(20);
+        let direct = ShardedFrozenWeb::from_hosts(hosts.clone(), 4);
+        let router = ShardRouter::new(4);
+        let mut buckets: Vec<Vec<SiteHost>> = (0..4).map(|_| Vec::new()).collect();
+        for host in hosts {
+            buckets[router.route(host.domain())].push(host);
+        }
+        let stitched = ShardedFrozenWeb::from_routed_shards(
+            buckets.into_iter().map(FrozenWeb::from_hosts).collect(),
+        );
+        assert_eq!(stitched.hosts(), direct.hosts());
+        for (a, b) in stitched.shards().iter().zip(direct.shards()) {
+            assert_eq!(a.hosts(), b.hosts());
+        }
+    }
+}

@@ -30,6 +30,7 @@
 
 use crate::headers::HeaderMap;
 use crate::message::StatusCode;
+use crate::store::ShardedFrozenWeb;
 use crate::url::Url;
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -470,6 +471,21 @@ impl FrozenWeb {
         }
     }
 
+    /// Iterate the host table, in map order (unspecified). Borrowed from
+    /// the snapshot; used by the sharded store to reshard and collapse
+    /// without copying page payloads.
+    pub fn iter_hosts(&self) -> impl Iterator<Item = (&DomainName, &SiteHost)> {
+        self.hosts.iter()
+    }
+
+    /// True when `other` shares this snapshot's host table (refcount
+    /// identity, not deep comparison). This is the pin for
+    /// [`SimulatedWeb::freeze`]'s fast path: freezing with an empty
+    /// overlay hands back the *same* table, `ptr_eq`-verifiable.
+    pub fn ptr_eq(&self, other: &FrozenWeb) -> bool {
+        Arc::ptr_eq(&self.hosts, &other.hosts)
+    }
+
     /// A mutable web view over this snapshot: reads fall through to the
     /// frozen base, writes land in a fresh overlay. The snapshot itself is
     /// never touched.
@@ -478,18 +494,80 @@ impl FrozenWeb {
     }
 }
 
+/// The immutable base a [`SimulatedWeb`] reads through: one table, or a
+/// sharded store. Reads resolve overlay-then-base either way; the
+/// distinction only matters for which snapshot flavour freezing reuses.
+#[derive(Debug, Clone)]
+enum FrozenBase {
+    Single(FrozenWeb),
+    Sharded(ShardedFrozenWeb),
+}
+
+impl Default for FrozenBase {
+    fn default() -> Self {
+        FrozenBase::Single(FrozenWeb::default())
+    }
+}
+
+impl FrozenBase {
+    fn host(&self, host: &DomainName) -> Option<&SiteHost> {
+        match self {
+            FrozenBase::Single(f) => f.host(host),
+            FrozenBase::Sharded(s) => s.host(host),
+        }
+    }
+
+    fn has_host(&self, host: &DomainName) -> bool {
+        match self {
+            FrozenBase::Single(f) => f.has_host(host),
+            FrozenBase::Sharded(s) => s.has_host(host),
+        }
+    }
+
+    fn host_count(&self) -> usize {
+        match self {
+            FrozenBase::Single(f) => f.host_count(),
+            FrozenBase::Sharded(s) => s.host_count(),
+        }
+    }
+
+    fn host_names(&self) -> Vec<DomainName> {
+        match self {
+            FrozenBase::Single(f) => f.hosts.keys().cloned().collect(),
+            FrozenBase::Sharded(s) => s
+                .shards()
+                .iter()
+                .flat_map(|f| f.hosts.keys().cloned())
+                .collect(),
+        }
+    }
+
+    /// A fresh owned copy of the full table (refcount-bump host clones),
+    /// the starting point for an overlay merge.
+    fn cloned_table(&self) -> HashMap<DomainName, SiteHost> {
+        match self {
+            FrozenBase::Single(f) => (*f.hosts).clone(),
+            FrozenBase::Sharded(s) => s
+                .shards()
+                .iter()
+                .flat_map(|f| f.iter_hosts().map(|(d, h)| (d.clone(), h.clone())))
+                .collect(),
+        }
+    }
+}
+
 /// Shared state of a [`SimulatedWeb`]: the immutable frozen base plus the
 /// mutable overlay of post-freeze registrations and copy-on-write edits.
 /// Overlay entries shadow same-named frozen hosts.
 #[derive(Debug, Default)]
 struct WebState {
-    frozen: FrozenWeb,
+    base: FrozenBase,
     overlay: HashMap<DomainName, SiteHost>,
 }
 
 impl WebState {
     fn host(&self, host: &DomainName) -> Option<&SiteHost> {
-        self.overlay.get(host).or_else(|| self.frozen.host(host))
+        self.overlay.get(host).or_else(|| self.base.host(host))
     }
 }
 
@@ -516,7 +594,20 @@ impl SimulatedWeb {
     pub fn from_frozen(frozen: FrozenWeb) -> SimulatedWeb {
         SimulatedWeb {
             inner: Arc::new(RwLock::new(WebState {
-                frozen,
+                base: FrozenBase::Single(frozen),
+                overlay: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Create a web whose read path falls through to a sharded frozen
+    /// store (shared, not copied). Reads route overlay → shard → host;
+    /// [`freeze_sharded`](SimulatedWeb::freeze_sharded) at the same shard
+    /// count reuses the store when the overlay is empty.
+    pub fn from_sharded(sharded: ShardedFrozenWeb) -> SimulatedWeb {
+        SimulatedWeb {
+            inner: Arc::new(RwLock::new(WebState {
+                base: FrozenBase::Sharded(sharded),
                 overlay: HashMap::new(),
             })),
         }
@@ -534,17 +625,17 @@ impl SimulatedWeb {
     /// True if a host with this name exists.
     pub fn has_host(&self, host: &DomainName) -> bool {
         let state = self.inner.read();
-        state.overlay.contains_key(host) || state.frozen.has_host(host)
+        state.overlay.contains_key(host) || state.base.has_host(host)
     }
 
     /// Number of registered hosts.
     pub fn host_count(&self) -> usize {
         let state = self.inner.read();
-        state.frozen.host_count()
+        state.base.host_count()
             + state
                 .overlay
                 .keys()
-                .filter(|d| !state.frozen.has_host(d))
+                .filter(|d| !state.base.has_host(d))
                 .count()
     }
 
@@ -554,11 +645,10 @@ impl SimulatedWeb {
         let mut hosts: Vec<DomainName> = state.overlay.keys().cloned().collect();
         hosts.extend(
             state
-                .frozen
-                .hosts
-                .keys()
-                .filter(|d| !state.overlay.contains_key(d))
-                .cloned(),
+                .base
+                .host_names()
+                .into_iter()
+                .filter(|d| !state.overlay.contains_key(d)),
         );
         hosts.sort();
         hosts
@@ -581,7 +671,7 @@ impl SimulatedWeb {
             f(h);
             return true;
         }
-        match state.frozen.host(host).cloned() {
+        match state.base.host(host).cloned() {
             Some(mut h) => {
                 f(&mut h);
                 state.overlay.insert(host.clone(), h);
@@ -596,23 +686,67 @@ impl SimulatedWeb {
     /// clone of this web observes the freeze, since the state is shared.
     ///
     /// Freezing an already-frozen web with an empty overlay is free — it
-    /// just hands back the existing snapshot.
+    /// hands back the existing snapshot (a refcount bump,
+    /// [`FrozenWeb::ptr_eq`]-verifiable), never a rebuilt table. A web
+    /// whose base is *sharded* collapses it into a single table once and
+    /// caches that as the new base, so repeat freezes are again free.
     pub fn freeze(&self) -> FrozenWeb {
         let mut state = self.inner.write();
-        if !state.overlay.is_empty() {
-            let mut merged: HashMap<DomainName, SiteHost> = (*state.frozen.hosts).clone();
-            merged.extend(state.overlay.drain());
-            state.frozen = FrozenWeb {
-                hosts: Arc::new(merged),
-            };
+        if state.overlay.is_empty() {
+            if let FrozenBase::Single(frozen) = &state.base {
+                return frozen.clone();
+            }
         }
-        state.frozen.clone()
+        let mut merged = state.base.cloned_table();
+        merged.extend(state.overlay.drain());
+        let frozen = FrozenWeb {
+            hosts: Arc::new(merged),
+        };
+        state.base = FrozenBase::Single(frozen.clone());
+        frozen
     }
 
-    /// The current frozen base (empty if [`freeze`](SimulatedWeb::freeze)
-    /// was never called). Overlay entries are *not* included.
+    /// Freeze the current host table into a [`ShardedFrozenWeb`] over
+    /// `shard_count` shards and make it this web's new base.
+    ///
+    /// Like [`freeze`](SimulatedWeb::freeze), the no-op case is free:
+    /// an empty overlay over an already-sharded base at the same shard
+    /// count hands back the existing store
+    /// ([`ShardedFrozenWeb::ptr_eq`]-verifiable). Anything else — a
+    /// single-table base, a different shard count, or pending overlay
+    /// edits (which may land on different shards) — reshards once.
+    pub fn freeze_sharded(&self, shard_count: usize) -> ShardedFrozenWeb {
+        let mut state = self.inner.write();
+        if state.overlay.is_empty() {
+            if let FrozenBase::Sharded(sharded) = &state.base {
+                if sharded.shard_count() == shard_count {
+                    return sharded.clone();
+                }
+            }
+        }
+        let mut merged = state.base.cloned_table();
+        merged.extend(state.overlay.drain());
+        let sharded = ShardedFrozenWeb::from_hosts(merged.into_values(), shard_count);
+        state.base = FrozenBase::Sharded(sharded.clone());
+        sharded
+    }
+
+    /// The current frozen base as a single table (empty if no freeze ever
+    /// happened). Overlay entries are *not* included; a sharded base is
+    /// collapsed on the fly without replacing it.
     pub fn frozen_base(&self) -> FrozenWeb {
-        self.inner.read().frozen.clone()
+        match &self.inner.read().base {
+            FrozenBase::Single(frozen) => frozen.clone(),
+            FrozenBase::Sharded(sharded) => sharded.collapse(),
+        }
+    }
+
+    /// The current sharded base, when the last freeze was sharded.
+    pub fn sharded_base(&self) -> Option<ShardedFrozenWeb> {
+        match &self.inner.read().base {
+            FrozenBase::Single(_) => None,
+            FrozenBase::Sharded(sharded) => Some(sharded.clone()),
+        }
     }
 
     /// Resolve what a host would serve for a URL, without going through the

@@ -1,0 +1,251 @@
+//! Property tests for the sharded frozen store.
+//!
+//! Contracts, each across arbitrary generated webs and the shard counts
+//! {1, 2, 7, 16} (16 matches the memo tables, 7 exercises the non-mask
+//! modulo route, 1 is the unsharded baseline):
+//!
+//! * sharding is observationally invisible: a `ShardedFrozenWeb` built
+//!   from the same host table answers every read (`serve`, `hosts`,
+//!   `host_count`, `page_body`, `page_html`) field-for-field identically
+//!   to the single-table `FrozenWeb`;
+//! * overlay edits that land on different shards re-freeze correctly:
+//!   `freeze_sharded` over an edited web equals the single-table
+//!   `freeze` of an identically-edited web;
+//! * the no-op freeze fast paths are pinned by pointer equality — an
+//!   empty overlay hands back the *same* table (refcount bump), both
+//!   single and sharded.
+
+use proptest::prelude::*;
+use rws_net::{FrozenWeb, PageContent, ShardedFrozenWeb, SimulatedWeb, SiteHost, StatusCode, Url};
+
+const SHARD_COUNTS: &[usize] = &[1, 2, 7, 16];
+
+/// One generated page: a path and what it serves.
+#[derive(Debug, Clone)]
+struct PageSpec {
+    path: String,
+    content: PageContent,
+}
+
+/// One generated host.
+#[derive(Debug, Clone)]
+struct HostSpec {
+    pages: Vec<PageSpec>,
+    offline: bool,
+    http_only: bool,
+}
+
+fn content_strategy() -> impl Strategy<Value = PageContent> {
+    (0u8..5, "[ -~]{0,120}", "/[a-z]{1,6}", any::<bool>()).prop_map(
+        |(kind, body, location, permanent)| match kind {
+            0 => PageContent::Html(body.into()),
+            1 => PageContent::Json(body.into()),
+            2 => PageContent::Text(body.into()),
+            3 => PageContent::Redirect {
+                location,
+                permanent,
+            },
+            _ => PageContent::Error {
+                status: StatusCode::SERVICE_UNAVAILABLE,
+                body: body.into(),
+            },
+        },
+    )
+}
+
+fn host_strategy() -> impl Strategy<Value = HostSpec> {
+    (
+        proptest::collection::vec(
+            ("/[a-z0-9]{1,8}", content_strategy())
+                .prop_map(|(path, content)| PageSpec { path, content }),
+            0..5,
+        ),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(pages, offline, http_only)| HostSpec {
+            pages,
+            offline,
+            http_only,
+        })
+}
+
+/// Materialise the generated web plus the probe URLs every contract reads.
+fn build_web(hosts: &[HostSpec]) -> (SimulatedWeb, Vec<Url>) {
+    let mut web = SimulatedWeb::new();
+    let mut urls = Vec::new();
+    for (i, spec) in hosts.iter().enumerate() {
+        let name = format!("host{i}.example.com");
+        let mut host = SiteHost::new(&name).unwrap();
+        host.set_offline(spec.offline).set_http_only(spec.http_only);
+        for page in &spec.pages {
+            host.add_content(&page.path, page.content.clone());
+        }
+        web.register(host);
+        for page in &spec.pages {
+            urls.push(Url::parse(&format!("https://{name}{}", page.path)).unwrap());
+            urls.push(Url::parse(&format!("http://{name}{}", page.path)).unwrap());
+        }
+        urls.push(Url::parse(&format!("https://{name}/not-registered")).unwrap());
+    }
+    urls.push(Url::parse("https://unregistered.example.com/").unwrap());
+    (web, urls)
+}
+
+/// Field-for-field read equivalence between a single table and a sharded
+/// store over the same hosts.
+fn assert_equivalent(single: &FrozenWeb, sharded: &ShardedFrozenWeb, urls: &[Url]) {
+    prop_assert_eq!(sharded.host_count(), single.host_count());
+    prop_assert_eq!(sharded.hosts(), single.hosts());
+    for url in urls {
+        prop_assert_eq!(
+            &sharded.serve(url),
+            &single.serve(url),
+            "sharded serve diverged on {} ({} shards)",
+            url,
+            sharded.shard_count()
+        );
+    }
+    for domain in single.hosts() {
+        prop_assert!(sharded.has_host(&domain));
+        let single_host = single.host(&domain).unwrap();
+        let sharded_host = sharded.host(&domain).unwrap();
+        prop_assert_eq!(sharded_host.paths(), single_host.paths());
+        for path in single_host.paths() {
+            prop_assert_eq!(sharded_host.page_body(path), single_host.page_body(path));
+            prop_assert_eq!(sharded_host.page_html(path), single_host.page_html(path));
+        }
+    }
+    // Shard routing is total and in range; every host is on its shard.
+    for domain in sharded.hosts() {
+        let idx = sharded.shard_of(&domain);
+        prop_assert!(idx < sharded.shard_count());
+        prop_assert!(sharded.shards()[idx].has_host(&domain));
+    }
+}
+
+proptest! {
+    /// Sharded ≡ unsharded: the same host table serves field-for-field
+    /// identically through any shard count.
+    #[test]
+    fn sharded_store_serves_like_single_table(
+        hosts in proptest::collection::vec(host_strategy(), 0..6)
+    ) {
+        let (web, urls) = build_web(&hosts);
+        let single = web.freeze();
+        for &count in SHARD_COUNTS {
+            let sharded = ShardedFrozenWeb::from_frozen(&single, count);
+            prop_assert_eq!(sharded.shard_count(), count);
+            assert_equivalent(&single, &sharded, &urls);
+            // Collapsing round-trips to the same table contents.
+            let collapsed = sharded.collapse();
+            prop_assert_eq!(collapsed.hosts(), single.hosts());
+            for url in &urls {
+                prop_assert_eq!(&collapsed.serve(url), &single.serve(url));
+            }
+        }
+    }
+
+    /// Overlay edits — which land on *different* shards — drain into a
+    /// sharded re-freeze exactly like a single-table freeze: take two
+    /// identical webs, apply the same edits to both, freeze one single
+    /// and one sharded, and compare field-for-field.
+    #[test]
+    fn overlay_edits_refreeze_identically_across_shards(
+        hosts in proptest::collection::vec(host_strategy(), 1..6),
+        edit_stride in 1usize..4,
+    ) {
+        let (web_a, mut urls) = build_web(&hosts);
+        let (web_b, _) = build_web(&hosts);
+
+        for &count in SHARD_COUNTS {
+            // Same starting snapshot, two flavours.
+            let single_base = web_a.freeze();
+            let sharded_base = ShardedFrozenWeb::from_frozen(&single_base, count);
+            let mut single_web = single_base.to_web();
+            let mut sharded_web = sharded_base.to_web();
+
+            // Edit every stride-th host (these hash onto different shards)
+            // and register one brand-new host.
+            let edited: Vec<_> = web_b.hosts().into_iter().step_by(edit_stride).collect();
+            for domain in &edited {
+                for web in [&mut single_web, &mut sharded_web] {
+                    web.update_host(domain, |h| {
+                        h.add_page("/edited", "<p>overlay edit</p>");
+                        h.set_offline(false);
+                    });
+                }
+            }
+            let mut fresh = SiteHost::new("fresh-overlay.example.com").unwrap();
+            fresh.add_page("/", "<p>new host</p>");
+            single_web.register(fresh.clone());
+            sharded_web.register(fresh);
+            urls.push(Url::parse("https://fresh-overlay.example.com/").unwrap());
+            for domain in &edited {
+                urls.push(Url::parse(&format!("https://{domain}/edited")).unwrap());
+            }
+
+            let single = single_web.freeze();
+            let resharded = sharded_web.freeze_sharded(count);
+            prop_assert_eq!(resharded.shard_count(), count);
+            assert_equivalent(&single, &resharded, &urls);
+        }
+    }
+}
+
+#[test]
+fn empty_overlay_freeze_returns_the_same_snapshot() {
+    let mut host = SiteHost::new("pin.example.com").unwrap();
+    host.add_page("/", "<p>pinned</p>");
+    let mut web = SimulatedWeb::new();
+    web.register(host);
+
+    // First freeze builds the table; repeated freezes with an empty
+    // overlay must hand back the *same* table — a refcount bump, not a
+    // rebuild. This is the satellite fix pinned by pointer equality.
+    let first = web.freeze();
+    let second = web.freeze();
+    let third = web.freeze();
+    assert!(first.ptr_eq(&second));
+    assert!(second.ptr_eq(&third));
+
+    // An overlay write invalidates the snapshot; the next freeze rebuilds
+    // (different table), and the one after that is again free.
+    web.update_host(
+        &rws_domain::DomainName::parse("pin.example.com").unwrap(),
+        |h| {
+            h.add_page("/new", "<p>edit</p>");
+        },
+    );
+    let fourth = web.freeze();
+    assert!(!third.ptr_eq(&fourth));
+    assert!(fourth.ptr_eq(&web.freeze()));
+}
+
+#[test]
+fn empty_overlay_sharded_freeze_reuses_the_store() {
+    let hosts: Vec<SiteHost> = (0..20)
+        .map(|i| {
+            let mut h = SiteHost::new(&format!("s{i}.example.com")).unwrap();
+            h.add_page("/", format!("<p>{i}</p>"));
+            h
+        })
+        .collect();
+    let sharded = ShardedFrozenWeb::from_hosts(hosts, 4);
+    let web = sharded.to_web();
+
+    // Same shard count, empty overlay: the store comes back untouched.
+    let again = web.freeze_sharded(4);
+    assert!(again.ptr_eq(&sharded));
+    // A different count reshards (new store), which then becomes the
+    // reusable base at that count.
+    let eight = web.freeze_sharded(8);
+    assert!(!eight.ptr_eq(&sharded));
+    assert_eq!(eight.shard_count(), 8);
+    assert!(web.freeze_sharded(8).ptr_eq(&eight));
+    // Collapsing through freeze() caches the single table: repeat
+    // freezes are again pointer-equal.
+    let single = web.freeze();
+    assert!(single.ptr_eq(&web.freeze()));
+    assert_eq!(single.hosts(), eight.hosts());
+}

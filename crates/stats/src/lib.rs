@@ -37,6 +37,7 @@ pub mod pool;
 pub mod quantile;
 pub mod rng;
 pub mod sampling;
+pub mod shard;
 pub mod supervision;
 pub mod swar;
 pub mod timeseries;
@@ -56,6 +57,7 @@ pub use sampling::{
     choose, sample_indices_floyd, sample_indices_without_replacement, sample_without_replacement,
     shuffle, weighted_choice,
 };
+pub use shard::{fnv1a_of, store_shard_count, ShardRouter, DEFAULT_STORE_SHARDS, STORE_SHARDS_ENV};
 pub use supervision::{
     Quarantine, QuarantineEntry, QuarantinedTask, SupervisionPolicy, SupervisionReport,
     DEFAULT_QUARANTINE_CAP,

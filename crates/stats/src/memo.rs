@@ -73,10 +73,13 @@ impl BuildHasher for FnvBuildHasher {
     }
 }
 
+/// The memo's router: shard selection is shared with the frozen page
+/// store through [`crate::shard::ShardRouter`], so every sharded layer
+/// in the workspace agrees on key → shard assignment.
+const ROUTER: crate::shard::ShardRouter = crate::shard::ShardRouter::new(SHARD_COUNT);
+
 fn shard_index<K: Hash>(key: &K) -> usize {
-    let mut hasher = FnvHasher::new();
-    key.hash(&mut hasher);
-    (hasher.finish() as usize) & (SHARD_COUNT - 1)
+    ROUTER.route(key)
 }
 
 /// A concurrent key → value memo sharded over [`SHARD_COUNT`] locks.
